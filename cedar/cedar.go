@@ -1,0 +1,306 @@
+// Package cedar is the public API of the CEDAR claim-verification system:
+// cost-efficient, data-driven fact-checking of natural-language claims
+// against relational data (Jayasekara & Trummer, PVLDB 2025).
+//
+// A System bundles the verification method stack (one-shot and agent-based
+// claim-to-SQL translation over a family of language models), the profiling
+// machinery that estimates each method's success probability and cost, and
+// the cost-based scheduler that orders methods and retries to meet a
+// user-chosen accuracy target at minimal expected cost.
+//
+// Typical use:
+//
+//	sys, _ := cedar.New(cedar.Options{Seed: 1, AccuracyTarget: 0.99})
+//	profileDocs, _ := cedar.Benchmark(cedar.BenchAggChecker, 7)
+//	_ = sys.ProfileOn(profileDocs[:8])
+//	docs, _ := cedar.Benchmark(cedar.BenchAggChecker, 8)
+//	report, _ := sys.Verify(docs)
+//	fmt.Println(report)
+package cedar
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/claim"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/llm"
+	"repro/internal/llm/sim"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/schedule"
+	"repro/internal/sqldb"
+	"repro/internal/textutil"
+	"repro/internal/verify"
+)
+
+// Re-exported domain types (Definitions 2.1-2.6 of the paper).
+type (
+	// Document is a text document whose claims refer to a database.
+	Document = claim.Document
+	// Claim is one verifiable statement.
+	Claim = claim.Claim
+	// Result is a claim's verification outcome.
+	Result = claim.Result
+	// Quality holds precision/recall/F1 over the incorrect-claim class.
+	Quality = metrics.Quality
+	// Database is the relational store claims are verified against.
+	Database = sqldb.Database
+	// Table is one relation of a Database.
+	Table = sqldb.Table
+)
+
+// Model names of the built-in simulated GPT family.
+const (
+	ModelGPT35 = llm.ModelGPT35
+	ModelGPT4o = llm.ModelGPT4o
+	ModelGPT41 = llm.ModelGPT41
+)
+
+// Options configure a System.
+type Options struct {
+	// Seed drives all simulated-model randomness; equal seeds reproduce
+	// runs exactly.
+	Seed int64
+	// AccuracyTarget is the accuracy constraint for schedule planning in
+	// (0, 1]; higher targets verify more thoroughly at higher cost.
+	// Default 0.99 (the paper's default threshold).
+	AccuracyTarget float64
+	// CostBudgetPerClaim, when positive, plans for maximal accuracy within
+	// an expected per-claim dollar budget instead of an accuracy target —
+	// the inverse knob for deployments with a hard spending limit.
+	CostBudgetPerClaim float64
+	// MaxTries bounds retries per method in the schedule (default 2).
+	MaxTries int
+	// CacheResponses enables a temperature-0 completion cache in front of
+	// each model: repeated deterministic prompts are answered locally and
+	// incur no fees. Off by default to keep cost accounting comparable to
+	// the paper's (which pays for every invocation).
+	CacheResponses bool
+	// Workers > 1 verifies documents concurrently (documents are
+	// independent under Algorithm 1). Results at temperature-0 schedules
+	// are unchanged; stochastic retries may resolve differently run to
+	// run, as they do sequentially.
+	Workers int
+}
+
+// System is a configured CEDAR instance.
+type System struct {
+	opts    Options
+	methods []verify.Method
+	ledger  *llm.Ledger
+	stats   []schedule.MethodStats
+	pipe    *core.Pipeline
+}
+
+// ErrNotProfiled is returned by Verify before ProfileOn (or SetStats) has
+// provided the scheduler with method statistics.
+var ErrNotProfiled = errors.New("cedar: system not profiled; call ProfileOn first")
+
+// New builds a System with the standard four-method stack of Section 7.1:
+// one-shot translation with GPT-3.5 and GPT-4o, agent-based verification
+// with GPT-4o and GPT-4.1 (simulated models; see internal/llm/sim).
+func New(opts Options) (*System, error) {
+	if opts.AccuracyTarget == 0 {
+		opts.AccuracyTarget = 0.99
+	}
+	if opts.AccuracyTarget < 0 || opts.AccuracyTarget > 1 {
+		return nil, fmt.Errorf("cedar: accuracy target %v outside (0, 1]", opts.AccuracyTarget)
+	}
+	ledger := llm.NewLedger()
+	client := func(model string) (llm.Client, error) {
+		m, err := sim.New(model, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var c llm.Client = &llm.Metered{Client: m, Ledger: ledger}
+		if opts.CacheResponses {
+			// The cache sits outside the meter so hits are free.
+			c = llm.NewCached(c, 0)
+		}
+		return c, nil
+	}
+	c35, err := client(ModelGPT35)
+	if err != nil {
+		return nil, err
+	}
+	c4o, err := client(ModelGPT4o)
+	if err != nil {
+		return nil, err
+	}
+	c41, err := client(ModelGPT41)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		opts:   opts,
+		ledger: ledger,
+		methods: []verify.Method{
+			verify.NewOneShot(c35, ModelGPT35, "oneshot-gpt3.5"),
+			verify.NewOneShot(c4o, ModelGPT4o, "oneshot-gpt4o"),
+			verify.NewAgent(c4o, ModelGPT4o, "agent-gpt4o", opts.Seed),
+			verify.NewAgent(c41, ModelGPT41, "agent-gpt4.1", opts.Seed+1),
+		},
+	}, nil
+}
+
+// ProfileOn estimates per-method success probabilities and costs on a
+// labeled sample of documents and plans the verification schedule for the
+// configured accuracy target.
+func (s *System) ProfileOn(docs []*Document) error {
+	stats, err := profile.Run(s.methods, docs, s.ledger, profile.Options{})
+	if err != nil {
+		return fmt.Errorf("cedar: profiling: %w", err)
+	}
+	s.ledger.Reset()
+	return s.SetStats(stats)
+}
+
+// SetStats installs externally obtained profiling statistics and replans
+// the schedule.
+func (s *System) SetStats(stats []schedule.MethodStats) error {
+	p, err := core.New(core.Config{
+		Methods:        s.methods,
+		Stats:          stats,
+		AccuracyTarget: s.opts.AccuracyTarget,
+		CostBudget:     s.opts.CostBudgetPerClaim,
+		MaxTries:       s.opts.MaxTries,
+	})
+	if err != nil {
+		return err
+	}
+	s.stats = stats
+	s.pipe = p
+	return nil
+}
+
+// Stats returns the current profiling statistics (nil before ProfileOn).
+func (s *System) Stats() []schedule.MethodStats { return s.stats }
+
+// Schedule describes the planned verification schedule.
+func (s *System) Schedule() string {
+	if s.pipe == nil {
+		return "(not planned)"
+	}
+	return s.pipe.Schedule().String()
+}
+
+// Report summarizes one verification run.
+type Report struct {
+	// Quality scores the verdicts against gold labels where documents
+	// carry them (synthetic benchmarks); all-zero for unlabeled input.
+	Quality Quality
+	// Claims is the number of claims processed.
+	Claims int
+	// Verified counts claims that some method verified plausibly.
+	Verified int
+	// Flagged counts claims marked incorrect.
+	Flagged int
+	// Dollars is the total simulated LLM fee of the run.
+	Dollars float64
+	// Calls is the number of model invocations.
+	Calls int
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("claims=%d verified=%d flagged=%d cost=$%.4f calls=%d | %v",
+		r.Claims, r.Verified, r.Flagged, r.Dollars, r.Calls, r.Quality)
+}
+
+// Verify runs multi-stage verification (Algorithm 1) over the documents,
+// annotating each claim's Result in place, and returns a run report.
+func (s *System) Verify(docs []*Document) (Report, error) {
+	if s.pipe == nil {
+		return Report{}, ErrNotProfiled
+	}
+	s.ledger.Reset()
+	if s.opts.Workers > 1 {
+		s.pipe.VerifyDocumentsParallel(docs, s.opts.Workers)
+	} else {
+		s.pipe.VerifyDocuments(docs)
+	}
+	rep := Report{
+		Quality: metrics.Evaluate(docs),
+		Claims:  claim.TotalClaims(docs),
+		Dollars: s.ledger.TotalDollars(),
+		Calls:   s.ledger.TotalCalls(),
+	}
+	for _, d := range docs {
+		for _, c := range d.Claims {
+			if c.Result.Verified {
+				rep.Verified++
+			}
+			if !c.Result.Correct {
+				rep.Flagged++
+			}
+		}
+	}
+	s.ledger.Reset()
+	return rep, nil
+}
+
+// --- document construction helpers ---
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database { return sqldb.NewDatabase(name) }
+
+// LoadCSVTable reads a table from CSV (header row then data rows) for use
+// in a document's database.
+func LoadCSVTable(name string, r io.Reader) (*Table, error) {
+	return sqldb.LoadCSV(name, r)
+}
+
+// NewClaim builds a claim from a sentence, the claimed value as it appears
+// in the sentence, and the surrounding context paragraph. The value's token
+// span is located automatically.
+func NewClaim(id, sentence, value, context string) (*Claim, error) {
+	span, ok := textutil.FindValueSpan(sentence, value)
+	if !ok {
+		return nil, fmt.Errorf("cedar: value %q does not occur in sentence %q", value, sentence)
+	}
+	if context == "" {
+		context = sentence
+	}
+	if !strings.Contains(context, sentence) {
+		context = context + " " + sentence
+	}
+	return &Claim{
+		ID:       id,
+		Sentence: sentence,
+		Span:     span,
+		Context:  context,
+		Value:    value,
+	}, nil
+}
+
+// --- benchmark corpora ---
+
+// Benchmark names accepted by Benchmark.
+const (
+	BenchAggChecker = "aggchecker"
+	BenchTabFact    = "tabfact"
+	BenchWikiText   = "wikitext"
+)
+
+// Benchmark generates one of the built-in synthetic benchmark corpora
+// shaped after the paper's datasets.
+func Benchmark(name string, seed int64) ([]*Document, error) {
+	switch name {
+	case BenchAggChecker:
+		return data.AggChecker(seed)
+	case BenchTabFact:
+		return data.TabFact(seed)
+	case BenchWikiText:
+		return data.WikiText(seed)
+	default:
+		return nil, fmt.Errorf("cedar: unknown benchmark %q (want %s, %s, or %s)",
+			name, BenchAggChecker, BenchTabFact, BenchWikiText)
+	}
+}
+
+// Evaluate scores annotated documents against their gold labels.
+func Evaluate(docs []*Document) Quality { return metrics.Evaluate(docs) }

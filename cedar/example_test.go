@@ -1,0 +1,48 @@
+package cedar_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/cedar"
+)
+
+// Example demonstrates end-to-end claim verification through the public
+// API: build a database and a claim, profile, verify, inspect the verdict.
+func Example() {
+	sys, err := cedar.New(cedar.Options{Seed: 1, AccuracyTarget: 0.99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	profDocs, err := cedar.Benchmark(cedar.BenchAggChecker, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.ProfileOn(profDocs[:6]); err != nil {
+		log.Fatal(err)
+	}
+
+	db := cedar.NewDatabase("airlinesafety")
+	table, err := cedar.LoadCSVTable("airlines", strings.NewReader(
+		"airline,fatal_accidents_00_14\nAer Lingus,0\nMalaysia Airlines,2\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.AddTable(table)
+	c, err := cedar.NewClaim("c1",
+		"Malaysia Airlines recorded 2 fatal accidents between 2000 and 2014.",
+		"2", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc := &cedar.Document{ID: "article", Data: db, Claims: []*cedar.Claim{c}}
+	if _, err := sys.Verify([]*cedar.Document{doc}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Result.Correct)
+	fmt.Println(c.Result.Query)
+	// Output:
+	// true
+	// SELECT "fatal_accidents_00_14" FROM "airlines" WHERE "airline" = 'Malaysia Airlines'
+}

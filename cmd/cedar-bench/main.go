@@ -1,0 +1,111 @@
+// Command cedar-bench regenerates the paper's evaluation artifacts: every
+// table and figure of Section 7 has a corresponding experiment id.
+//
+// Usage:
+//
+//	cedar-bench [-seed N] <experiment>
+//
+// Experiments:
+//
+//	table2     Table 2  — result quality of CEDAR vs baselines
+//	costs      §7.2     — CEDAR verification fees per dataset
+//	fig5       Figure 5 — cost/throughput vs F1 trade-off curves
+//	fig6       Figure 6 — F1 change under unit conversions
+//	table3     Table 3  — query complexity statistics
+//	joinbench  §7.3.2   — F1 and cost under schema normalization
+//	fig7       Figure 7 — schedule robustness across domains
+//	all        run everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+type result interface{ Render() string }
+
+// csvResult is implemented by every experiment result (see internal/exp
+// csv.go); -csv switches output to machine-readable series for plotting.
+type csvResult interface{ CSV() string }
+
+type experiment struct {
+	name string
+	desc string
+	run  func(seed int64) (result, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table2", "Table 2: result quality of CEDAR vs baselines", func(s int64) (result, error) {
+			return exp.Table2(s)
+		}},
+		{"costs", "Section 7.2: CEDAR verification fees per dataset", func(s int64) (result, error) {
+			return exp.Costs(s)
+		}},
+		{"fig5", "Figure 5: cost/throughput vs F1 trade-offs", func(s int64) (result, error) {
+			return exp.Fig5(s)
+		}},
+		{"fig6", "Figure 6: F1 change under unit conversions", func(s int64) (result, error) {
+			return exp.Fig6(s)
+		}},
+		{"table3", "Table 3: query complexity statistics", func(s int64) (result, error) {
+			return exp.Table3(s)
+		}},
+		{"joinbench", "Section 7.3.2: schema normalization", func(s int64) (result, error) {
+			return exp.JoinBench(s)
+		}},
+		{"fig7", "Figure 7: schedule robustness across domains", func(s int64) (result, error) {
+			return exp.Fig7(s)
+		}},
+		{"modelfit", "Extended report: modeled vs realized accuracy (independence assumptions)", func(s int64) (result, error) {
+			return exp.ModelFit(s)
+		}},
+	}
+}
+
+func main() {
+	seed := flag.Int64("seed", 17, "random seed (runs are fully reproducible per seed)")
+	asCSV := flag.Bool("csv", false, "emit CSV series instead of formatted text")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	want := flag.Arg(0)
+	ran := false
+	for _, e := range experiments() {
+		if want != "all" && want != e.name {
+			continue
+		}
+		ran = true
+		res, err := e.run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cedar-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		if *asCSV {
+			if c, ok := res.(csvResult); ok {
+				fmt.Printf("# %s (seed %d)\n%s", e.name, *seed, c.CSV())
+				continue
+			}
+		}
+		fmt.Printf("== %s (seed %d) ==\n", e.desc, *seed)
+		fmt.Println(res.Render())
+	}
+	if !ran {
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cedar-bench [-seed N] <experiment>")
+	fmt.Fprintln(os.Stderr, "experiments:")
+	for _, e := range experiments() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintln(os.Stderr, "  all        run everything")
+}

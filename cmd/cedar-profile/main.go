@@ -1,0 +1,74 @@
+// Command cedar-profile estimates the per-method success probability and
+// cost statistics the CEDAR scheduler consumes, on one of the built-in
+// benchmarks, and prints the Pareto-optimal verification schedules for a
+// range of accuracy targets.
+//
+// Usage:
+//
+//	cedar-profile [-seed N] [-bench aggchecker|tabfact|wikitext] [-docs 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/cedar"
+	"repro/internal/exp"
+	"repro/internal/profile"
+	"repro/internal/schedule"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 17, "random seed")
+		bench = flag.String("bench", cedar.BenchAggChecker, "benchmark to profile on")
+		nDocs = flag.Int("docs", 8, "number of profiling documents")
+		out   = flag.String("o", "", "write statistics to this JSON file (readable by cedar -stats)")
+	)
+	flag.Parse()
+	if err := run(*seed, *bench, *nDocs, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "cedar-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, bench string, nDocs int, out string) error {
+	docs, err := cedar.Benchmark(bench, seed)
+	if err != nil {
+		return err
+	}
+	if nDocs > 0 && nDocs < len(docs) {
+		docs = docs[:nDocs]
+	}
+	stack, err := exp.NewStack(seed)
+	if err != nil {
+		return err
+	}
+	stats, err := stack.Profile(docs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profiling on %d documents of %s (seed %d):\n\n", len(docs), bench, seed)
+	fmt.Printf("%-16s %10s %12s %14s\n", "Method", "Accuracy", "Cost ($)", "Latency")
+	for _, s := range stats {
+		fmt.Printf("%-16s %10.3f %12.5f %14v\n", s.Name, s.Accuracy, s.Cost, s.Wall.Round(1e6))
+	}
+
+	if out != "" {
+		if err := profile.SaveStats(out, stats); err != nil {
+			return err
+		}
+		fmt.Printf("\nstatistics written to %s\n", out)
+	}
+
+	fmt.Println("\noptimal schedules by accuracy target:")
+	for _, target := range []float64{0.5, 0.8, 0.9, 0.95, 0.99} {
+		plan, err := schedule.Plan(stats, 2, target)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %.2f -> %v\n", target, plan)
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// Command cedar verifies natural-language claims against relational data:
+// it loads a CSV table and a JSON claim file, runs CEDAR's multi-stage
+// verification, and reports a verdict and verification query per claim.
+//
+// Usage:
+//
+//	cedar -csv data.csv -table airlines -claims claims.json [-target 0.99] [-seed 1] [-json]
+//
+// The claims file holds an array of objects:
+//
+//	[{"id": "c1",
+//	  "sentence": "Malaysia Airlines recorded 2 fatal accidents between 2000 and 2014.",
+//	  "value": "2",
+//	  "context": "optional paragraph containing the sentence"}]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/cedar"
+	"repro/internal/profile"
+	"repro/internal/report"
+)
+
+// csvList collects repeated -csv flags so multi-table (join) databases can
+// be loaded: cedar -csv airlines.csv -csv safety.csv ...
+type csvList []string
+
+func (c *csvList) String() string { return strings.Join(*c, ",") }
+
+func (c *csvList) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+type claimInput struct {
+	ID       string `json:"id"`
+	Sentence string `json:"sentence"`
+	Value    string `json:"value"`
+	Context  string `json:"context,omitempty"`
+}
+
+type claimOutput struct {
+	ID       string `json:"id"`
+	Correct  bool   `json:"correct"`
+	Verified bool   `json:"verified"`
+	Method   string `json:"method,omitempty"`
+	Query    string `json:"query,omitempty"`
+}
+
+func main() {
+	var csvPaths csvList
+	flag.Var(&csvPaths, "csv", "CSV data table (header row first); repeat for multi-table databases")
+	var (
+		tableName  = flag.String("table", "", "table name for a single CSV (default: file base name)")
+		claimsPath = flag.String("claims", "", "JSON file with the claims to verify")
+		target     = flag.Float64("target", 0.99, "accuracy target in (0,1]")
+		seed       = flag.Int64("seed", 1, "random seed for the simulated models")
+		asJSON     = flag.Bool("json", false, "emit results as JSON")
+		statsPath  = flag.String("stats", "", "profiling statistics JSON (from cedar-profile -o); skips built-in profiling")
+		htmlPath   = flag.String("html", "", "also write a demo-style HTML report to this file")
+	)
+	flag.Parse()
+	if len(csvPaths) == 0 || *claimsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(csvPaths, *tableName, *claimsPath, *target, *seed, *asJSON, *statsPath, *htmlPath); err != nil {
+		fmt.Fprintln(os.Stderr, "cedar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(csvPaths []string, tableName, claimsPath string, target float64, seed int64, asJSON bool, statsPath, htmlPath string) error {
+	if tableName != "" && len(csvPaths) > 1 {
+		return fmt.Errorf("-table applies to a single -csv; multi-table databases name tables by file")
+	}
+	dbName := tableName
+	if dbName == "" {
+		dbName = strings.TrimSuffix(filepath.Base(csvPaths[0]), filepath.Ext(csvPaths[0]))
+	}
+	db := cedar.NewDatabase(dbName)
+	for _, path := range csvPaths {
+		name := tableName
+		if name == "" || len(csvPaths) > 1 {
+			name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		}
+		csvFile, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		table, err := cedar.LoadCSVTable(name, csvFile)
+		csvFile.Close()
+		if err != nil {
+			return err
+		}
+		db.AddTable(table)
+	}
+
+	raw, err := os.ReadFile(claimsPath)
+	if err != nil {
+		return err
+	}
+	var inputs []claimInput
+	if err := json.Unmarshal(raw, &inputs); err != nil {
+		return fmt.Errorf("parsing %s: %w", claimsPath, err)
+	}
+	doc := &cedar.Document{ID: dbName, Domain: "cli", Data: db}
+	for i, in := range inputs {
+		if in.ID == "" {
+			in.ID = fmt.Sprintf("c%d", i+1)
+		}
+		c, err := cedar.NewClaim(in.ID, in.Sentence, in.Value, in.Context)
+		if err != nil {
+			return err
+		}
+		doc.Claims = append(doc.Claims, c)
+	}
+
+	sys, err := cedar.New(cedar.Options{Seed: seed, AccuracyTarget: target})
+	if err != nil {
+		return err
+	}
+	if statsPath != "" {
+		stats, err := profile.LoadStats(statsPath)
+		if err != nil {
+			return err
+		}
+		if err := sys.SetStats(stats); err != nil {
+			return err
+		}
+	} else {
+		profDocs, err := cedar.Benchmark(cedar.BenchAggChecker, seed+100)
+		if err != nil {
+			return err
+		}
+		if err := sys.ProfileOn(profDocs[:6]); err != nil {
+			return err
+		}
+	}
+	rep, err := sys.Verify([]*cedar.Document{doc})
+	if err != nil {
+		return err
+	}
+	if htmlPath != "" {
+		page, err := report.Render([]*cedar.Document{doc}, report.Summary{
+			Schedule:    sys.Schedule(),
+			Dollars:     rep.Dollars,
+			Calls:       rep.Calls,
+			GeneratedAt: time.Now(),
+		})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(htmlPath, page, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", htmlPath)
+	}
+
+	if asJSON {
+		var out []claimOutput
+		for _, c := range doc.Claims {
+			out = append(out, claimOutput{
+				ID:       c.ID,
+				Correct:  c.Result.Correct,
+				Verified: c.Result.Verified,
+				Method:   c.Result.Method,
+				Query:    c.Result.Query,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Printf("schedule: %s\n\n", sys.Schedule())
+	for _, c := range doc.Claims {
+		verdict := "CORRECT"
+		if !c.Result.Correct {
+			verdict = "INCORRECT"
+		}
+		fmt.Printf("%-10s %-9s %s\n", c.ID, verdict, c.Sentence)
+		if c.Result.Query != "" {
+			fmt.Printf("           via %s: %s\n", c.Result.Method, c.Result.Query)
+		}
+	}
+	fmt.Printf("\n%d claims, %d flagged incorrect, simulated cost $%.4f (%d model calls)\n",
+		rep.Claims, rep.Flagged, rep.Dollars, rep.Calls)
+	return nil
+}

@@ -1,0 +1,74 @@
+// Newsroom: the spell-checker-for-numbers scenario from the paper's
+// introduction. A data desk verifies a batch of article drafts against
+// their source tables at different accuracy targets, trading verification
+// fees for thoroughness.
+//
+//	go run ./examples/newsroom
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/cedar"
+)
+
+func main() {
+	// A batch of AggChecker-style article drafts (56 documents, 392
+	// numerical claims over newspaper/survey/Wikipedia-shaped tables),
+	// with gold labels so we can score the runs.
+	articles, err := cedar.Benchmark(cedar.BenchAggChecker, 2025)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profDocs, err := cedar.Benchmark(cedar.BenchAggChecker, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Verifying 392 claims from 56 article drafts at three accuracy targets.")
+	fmt.Printf("%-8s %-58s %10s %10s %8s\n", "target", "schedule", "flagged", "cost ($)", "F1")
+	for _, target := range []float64{0.6, 0.9, 0.99} {
+		sys, err := cedar.New(cedar.Options{Seed: 7, AccuracyTarget: target})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.ProfileOn(profDocs[:8]); err != nil {
+			log.Fatal(err)
+		}
+		// Fresh copies per run so verdicts do not leak between targets.
+		docs, err := cedar.Benchmark(cedar.BenchAggChecker, 2025)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.Verify(docs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.2f %-58s %10d %10.4f %7.1f%%\n",
+			target, sys.Schedule(), rep.Flagged, rep.Dollars, rep.Quality.F1*100)
+	}
+
+	// Show a handful of flagged claims the way an editor would see them.
+	sys, err := cedar.New(cedar.Options{Seed: 7, AccuracyTarget: 0.99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.ProfileOn(profDocs[:8]); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Verify(articles); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSample of flagged claims (verify before publishing):")
+	shown := 0
+	for _, d := range articles {
+		for _, c := range d.Claims {
+			if c.Result.Correct || shown >= 5 {
+				continue
+			}
+			shown++
+			fmt.Printf("  [%s] %s\n      checked via: %s\n", d.ID, c.Sentence, c.Result.Query)
+		}
+	}
+}

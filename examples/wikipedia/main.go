@@ -1,0 +1,84 @@
+// Wikipedia: verifying textual claims — claims whose value is an entity
+// name rather than a number ("x holds the record for the most race wins").
+// Textual verdicts go through the embedding-similarity comparison of
+// Algorithm 3 instead of precision-aware rounding.
+//
+//	go run ./examples/wikipedia
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/cedar"
+)
+
+func main() {
+	// Hand-built Formula One article with textual claims, mirroring the
+	// sample prompt of Table 1 in the paper.
+	db := cedar.NewDatabase("f1")
+	table, err := cedar.LoadCSVTable("f1", strings.NewReader(
+		"driver,country,wins,championships\n"+
+			"Lewis Hamilton,UK,105,7\n"+
+			"Michael Schumacher,Germany,91,7\n"+
+			"Sebastian Vettel,Germany,53,4\n"+
+			"Giuseppe Farina,Italy,5,1\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.AddTable(table)
+
+	mk := func(id, sentence, value string) *cedar.Claim {
+		c, err := cedar.NewClaim(id, sentence, value, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+	doc := &cedar.Document{ID: "f1-article", Data: db, Claims: []*cedar.Claim{
+		mk("most-wins", "Lewis Hamilton recorded the highest race wins of all drivers.", "Lewis Hamilton"),
+		mk("fewest-wins", "Giuseppe Farina recorded the lowest race wins of all drivers.", "Giuseppe Farina"),
+		// Wrong on purpose: Vettel does not hold the win record.
+		mk("wrong-record", "Sebastian Vettel recorded the highest race wins of all drivers.", "Sebastian Vettel"),
+	}}
+
+	sys, err := cedar.New(cedar.Options{Seed: 3, AccuracyTarget: 0.99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Profile on the WikiText-shaped benchmark: textual claims need their
+	// own statistics (agent methods shine here).
+	profDocs, err := cedar.Benchmark(cedar.BenchWikiText, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.ProfileOn(profDocs[:6]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schedule:", sys.Schedule())
+
+	if _, err := sys.Verify([]*cedar.Document{doc}); err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range doc.Claims {
+		verdict := "correct"
+		if !c.Result.Correct {
+			verdict = "INCORRECT"
+		}
+		fmt.Printf("\n%-12s %-9s %s\n", c.ID, verdict, c.Sentence)
+		fmt.Printf("             query: %s\n", c.Result.Query)
+	}
+
+	// And the full WikiText benchmark with scoring.
+	fmt.Println("\nScoring the WikiText benchmark (50 textual claims):")
+	wiki, err := cedar.Benchmark(cedar.BenchWikiText, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Verify(wiki)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %v\n", rep)
+}

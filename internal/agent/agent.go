@@ -1,0 +1,189 @@
+// Package agent implements the iterative ReAct loop of Algorithm 7: the
+// language model is invoked repeatedly, each turn producing a thought and
+// optionally an action (a tool invocation); tool outputs are fed back as
+// observations until the model emits a final answer. Queries issued through
+// the database tool are logged for the query-reconstruction post-processing
+// stage (Algorithm 9).
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/llm"
+)
+
+// Tool is a function the agent may invoke.
+type Tool interface {
+	// Name is the identifier the model uses in Action lines.
+	Name() string
+	// Run executes the tool and returns the observation text.
+	Run(input string) string
+}
+
+// Step is one thought/action/observation turn.
+type Step struct {
+	Thought     string
+	Action      string
+	Input       string
+	Observation string
+}
+
+// Trace is the full record of one agent run.
+type Trace struct {
+	Steps []Step
+	// Queries lists every input sent to the database-querying tool, in
+	// order — the query list Q of Algorithm 7.
+	Queries []string
+	// FinalAnswer is the model's answer text ("" when the iteration cap
+	// was hit before an answer).
+	FinalAnswer string
+	// Finished reports whether the model produced a final answer.
+	Finished bool
+}
+
+// ErrNoProgress is returned when the model output contains neither an
+// action nor a final answer.
+var ErrNoProgress = errors.New("agent: model output contains no action or final answer")
+
+// Runner executes ReAct conversations.
+type Runner struct {
+	Client      llm.Client
+	Model       string
+	Temperature float64
+	// MaxIters caps the number of model invocations (default 8).
+	MaxIters int
+	// QueryToolName identifies the tool whose inputs are logged as
+	// queries (Algorithm 7's DatabaseQuerying check).
+	QueryToolName string
+}
+
+// Run drives the loop: invoke the model, parse its turn, execute tools, and
+// append observations until a final answer or the iteration cap.
+func (r *Runner) Run(basePrompt string, tools []Tool) (*Trace, error) {
+	maxIters := r.MaxIters
+	if maxIters <= 0 {
+		maxIters = 8
+	}
+	byName := make(map[string]Tool, len(tools))
+	for _, t := range tools {
+		byName[t.Name()] = t
+	}
+	messages := []llm.Message{{Role: llm.RoleUser, Content: basePrompt}}
+	trace := &Trace{}
+	for iter := 0; iter < maxIters; iter++ {
+		resp, err := r.Client.Complete(llm.Request{
+			Model:       r.Model,
+			Messages:    messages,
+			Temperature: r.Temperature,
+		})
+		if err != nil {
+			return trace, fmt.Errorf("agent: model invocation: %w", err)
+		}
+		turn := parseTurn(resp.Content)
+		if turn.final != "" || turn.finished {
+			trace.FinalAnswer = turn.final
+			trace.Finished = true
+			trace.Steps = append(trace.Steps, Step{Thought: turn.thought})
+			return trace, nil
+		}
+		if turn.action == "" {
+			return trace, fmt.Errorf("%w: %q", ErrNoProgress, truncate(resp.Content, 120))
+		}
+		obs := ""
+		if tool, ok := byName[turn.action]; ok {
+			obs = tool.Run(turn.input)
+		} else {
+			obs = fmt.Sprintf("Error: unknown tool %q; available tools: %s", turn.action, toolNames(tools))
+		}
+		if turn.action == r.QueryToolName {
+			trace.Queries = append(trace.Queries, turn.input)
+		}
+		trace.Steps = append(trace.Steps, Step{
+			Thought:     turn.thought,
+			Action:      turn.action,
+			Input:       turn.input,
+			Observation: obs,
+		})
+		messages = append(messages,
+			llm.Message{Role: llm.RoleAssistant, Content: resp.Content},
+			llm.Message{Role: llm.RoleUser, Content: "Observation: " + obs},
+		)
+	}
+	return trace, nil
+}
+
+func toolNames(tools []Tool) string {
+	names := make([]string, len(tools))
+	for i, t := range tools {
+		names[i] = t.Name()
+	}
+	return strings.Join(names, ", ")
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+type turn struct {
+	thought  string
+	action   string
+	input    string
+	final    string
+	finished bool
+}
+
+// parseTurn extracts the thought, action, and final answer from one model
+// completion in ReAct format.
+func parseTurn(content string) turn {
+	var t turn
+	for _, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "Thought:"):
+			t.thought = strings.TrimSpace(strings.TrimPrefix(line, "Thought:"))
+		case strings.HasPrefix(line, "Action:"):
+			t.action = strings.TrimSpace(strings.TrimPrefix(line, "Action:"))
+		case strings.HasPrefix(line, "Action Input:"):
+			t.input = strings.TrimSpace(strings.TrimPrefix(line, "Action Input:"))
+		case strings.HasPrefix(line, "Final Answer:"):
+			t.final = strings.TrimSpace(strings.TrimPrefix(line, "Final Answer:"))
+			t.finished = true
+		}
+	}
+	return t
+}
+
+// String renders the trace in the Figure 4 layout: thoughts, actions, tool
+// inputs, and observations in order, ending with the final answer.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, s := range t.Steps {
+		if s.Thought != "" {
+			fmt.Fprintf(&b, "Thought: %s\n", s.Thought)
+		}
+		if s.Action != "" {
+			fmt.Fprintf(&b, "Action: %s\nAction Input: %s\nObservation: %s\n", s.Action, s.Input, s.Observation)
+		}
+	}
+	if t.Finished {
+		fmt.Fprintf(&b, "Final Answer: %s\n", t.FinalAnswer)
+	}
+	return b.String()
+}
+
+// FuncTool adapts a function to the Tool interface.
+type FuncTool struct {
+	ToolName string
+	Fn       func(input string) string
+}
+
+// Name implements Tool.
+func (f FuncTool) Name() string { return f.ToolName }
+
+// Run implements Tool.
+func (f FuncTool) Run(input string) string { return f.Fn(input) }

@@ -1,0 +1,156 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+)
+
+// scriptedClient replays a fixed sequence of completions.
+type scriptedClient struct {
+	turns []string
+	calls int
+	// lastMessages captures the conversation of the final call.
+	lastMessages []llm.Message
+}
+
+func (s *scriptedClient) Complete(req llm.Request) (llm.Response, error) {
+	s.lastMessages = req.Messages
+	if s.calls >= len(s.turns) {
+		return llm.Response{}, errors.New("script exhausted")
+	}
+	content := s.turns[s.calls]
+	s.calls++
+	return llm.Response{Content: content, Usage: llm.Usage{PromptTokens: 10, CompletionTokens: 5}}, nil
+}
+
+func echoTool(name string) Tool {
+	return FuncTool{ToolName: name, Fn: func(in string) string { return "echo:" + in }}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	client := &scriptedClient{turns: []string{
+		"Thought: try a query\nAction: database_querying\nAction Input: SELECT 1",
+		"Thought: check values\nAction: unique_column_values\nAction Input: country",
+		"Thought: I now know the final answer.\nFinal Answer: 84",
+	}}
+	r := &Runner{Client: client, Model: "m", QueryToolName: "database_querying"}
+	trace, err := r.Run("base prompt", []Tool{echoTool("database_querying"), echoTool("unique_column_values")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.Finished || trace.FinalAnswer != "84" {
+		t.Errorf("trace = %+v", trace)
+	}
+	if len(trace.Queries) != 1 || trace.Queries[0] != "SELECT 1" {
+		t.Errorf("queries = %v", trace.Queries)
+	}
+	if len(trace.Steps) != 3 {
+		t.Errorf("steps = %d", len(trace.Steps))
+	}
+	if trace.Steps[0].Observation != "echo:SELECT 1" {
+		t.Errorf("observation = %q", trace.Steps[0].Observation)
+	}
+	// The conversation must accumulate assistant turns and observations.
+	joined := llm.PromptText(client.lastMessages)
+	if !strings.Contains(joined, "Observation: echo:SELECT 1") {
+		t.Errorf("conversation missing observation: %q", joined)
+	}
+	if !strings.Contains(joined, "base prompt") {
+		t.Error("conversation missing base prompt")
+	}
+}
+
+func TestRunUnknownTool(t *testing.T) {
+	client := &scriptedClient{turns: []string{
+		"Thought: hm\nAction: bogus_tool\nAction Input: x",
+		"Thought: I now know the final answer.\nFinal Answer: done",
+	}}
+	r := &Runner{Client: client, Model: "m", QueryToolName: "database_querying"}
+	trace, err := r.Run("base", []Tool{echoTool("database_querying")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace.Steps[0].Observation, "unknown tool") {
+		t.Errorf("observation = %q", trace.Steps[0].Observation)
+	}
+	if len(trace.Queries) != 0 {
+		t.Error("bogus tool must not log queries")
+	}
+}
+
+func TestRunNoProgress(t *testing.T) {
+	client := &scriptedClient{turns: []string{"I am confused and will ramble without any action."}}
+	r := &Runner{Client: client, Model: "m"}
+	_, err := r.Run("base", nil)
+	if !errors.Is(err, ErrNoProgress) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunIterationCap(t *testing.T) {
+	turns := make([]string, 20)
+	for i := range turns {
+		turns[i] = fmt.Sprintf("Thought: again\nAction: q\nAction Input: SELECT %d", i)
+	}
+	client := &scriptedClient{turns: turns}
+	r := &Runner{Client: client, Model: "m", MaxIters: 3, QueryToolName: "q"}
+	trace, err := r.Run("base", []Tool{echoTool("q")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Finished {
+		t.Error("capped run must not be finished")
+	}
+	if len(trace.Queries) != 3 {
+		t.Errorf("queries = %d want 3 (cap)", len(trace.Queries))
+	}
+}
+
+func TestRunClientError(t *testing.T) {
+	client := &scriptedClient{} // immediately exhausted
+	r := &Runner{Client: client, Model: "m"}
+	if _, err := r.Run("base", nil); err == nil {
+		t.Error("expected client error to propagate")
+	}
+}
+
+func TestParseTurn(t *testing.T) {
+	tn := parseTurn("Thought: think\nAction: t\nAction Input: in\ntrailing")
+	if tn.thought != "think" || tn.action != "t" || tn.input != "in" || tn.finished {
+		t.Errorf("turn = %+v", tn)
+	}
+	tn = parseTurn("Thought: done\nFinal Answer: 42")
+	if !tn.finished || tn.final != "42" {
+		t.Errorf("final turn = %+v", tn)
+	}
+	// Final answer may be empty text but still terminal.
+	tn = parseTurn("Final Answer:")
+	if !tn.finished {
+		t.Error("empty final answer must finish")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := &Trace{
+		Steps: []Step{
+			{Thought: "try a query", Action: "database_querying", Input: "SELECT 1", Observation: "Result: 1"},
+			{Thought: "done"},
+		},
+		FinalAnswer: "1",
+		Finished:    true,
+	}
+	s := tr.String()
+	for _, want := range []string{"Thought: try a query", "Action: database_querying", "Action Input: SELECT 1", "Observation: Result: 1", "Final Answer: 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace missing %q:\n%s", want, s)
+		}
+	}
+	unfinished := &Trace{}
+	if strings.Contains(unfinished.String(), "Final Answer") {
+		t.Error("unfinished trace must not claim a final answer")
+	}
+}

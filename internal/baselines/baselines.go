@@ -1,0 +1,28 @@
+// Package baselines implements the prior systems CEDAR is compared against
+// in Section 7.2: AggChecker (keyword-based claim-to-SQL verification
+// without LLMs), TAPEX (a table-flattening neural executor), and the two
+// text-to-SQL prompt templates P1 ("Create Table + Select 3") and P2
+// (OpenAI's template). The baselines reproduce the qualitative behaviours
+// behind Table 2: AggChecker reaches mid accuracy on numeric claims and
+// does not support textual ones; TAPEX works on small tables but collapses
+// when flattening large ones; P1/P2 translate claims without exploiting the
+// claimed value, so they flag far too many correct claims as incorrect.
+package baselines
+
+import "repro/internal/claim"
+
+// Baseline verifies all claims of a document in place, like the CEDAR
+// pipeline but single-strategy.
+type Baseline interface {
+	// Name identifies the baseline in reports.
+	Name() string
+	// VerifyDocument annotates each claim's Result.
+	VerifyDocument(d *claim.Document)
+}
+
+// VerifyAll runs a baseline over a corpus.
+func VerifyAll(b Baseline, docs []*claim.Document) {
+	for _, d := range docs {
+		b.VerifyDocument(d)
+	}
+}

@@ -1,0 +1,144 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/claim"
+	"repro/internal/data"
+	"repro/internal/llm"
+	"repro/internal/llm/sim"
+	"repro/internal/metrics"
+)
+
+func evalBaseline(t *testing.T, b Baseline, docs []*claim.Document) metrics.Quality {
+	t.Helper()
+	// Work on copies so multiple baselines can score the same corpus.
+	var fresh []*claim.Document
+	for _, d := range docs {
+		nd := *d
+		nd.Claims = nil
+		for _, c := range d.Claims {
+			cc := *c
+			cc.Result = claim.Result{}
+			nd.Claims = append(nd.Claims, &cc)
+		}
+		fresh = append(fresh, &nd)
+	}
+	VerifyAll(b, fresh)
+	return metrics.Evaluate(fresh)
+}
+
+func TestAggCheckerBaselineMidAccuracy(t *testing.T) {
+	docs, err := data.AggChecker(61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = docs[:20]
+	q := evalBaseline(t, AggChecker{}, docs)
+	t.Logf("AggChecker baseline: %v", q)
+	if q.F1 <= 0.1 || q.F1 >= 0.75 {
+		t.Errorf("AggChecker F1 %.2f outside its mid-accuracy band", q.F1)
+	}
+}
+
+func TestAggCheckerSkipsTextualClaims(t *testing.T) {
+	docs, err := data.WikiText(62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := evalBaseline(t, AggChecker{}, docs)
+	if q.TP != 0 || q.FP != 0 {
+		t.Errorf("AggChecker must not flag textual claims: %v", q)
+	}
+}
+
+func TestTAPEXSizeCollapse(t *testing.T) {
+	small, err := data.TabFact(63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := data.AggChecker(63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large = large[:20]
+	tap := NewTAPEX(63)
+	qSmall := evalBaseline(t, tap, small)
+	qLarge := evalBaseline(t, tap, large)
+	t.Logf("TAPEX small tables: %v", qSmall)
+	t.Logf("TAPEX large tables: %v", qLarge)
+	if qSmall.F1 < 0.5 {
+		t.Errorf("TAPEX should be strong on small tables, F1 %.2f", qSmall.F1)
+	}
+	if qLarge.F1 > 0.25 {
+		t.Errorf("TAPEX must collapse on large tables, F1 %.2f", qLarge.F1)
+	}
+	if qLarge.Recall >= qSmall.Recall {
+		t.Error("TAPEX recall must drop with table size")
+	}
+}
+
+func TestTAPEXPower(t *testing.T) {
+	tap := NewTAPEX(1)
+	if tap.power(100) != 1 {
+		t.Error("under capacity must be full power")
+	}
+	if tap.power(200) != 0 {
+		t.Error("double capacity must be zero power")
+	}
+	if p := tap.power(130); p <= 0 || p >= 1 {
+		t.Errorf("midway power = %v", p)
+	}
+}
+
+func TestText2SQLLowPrecision(t *testing.T) {
+	docs, err := data.AggChecker(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = docs[:20]
+	model, err := sim.New(llm.ModelGPT35, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := NewP1(model, llm.ModelGPT35)
+	p2 := NewP2(model, llm.ModelGPT35)
+	q1 := evalBaseline(t, p1, docs)
+	q2 := evalBaseline(t, p2, docs)
+	t.Logf("P1: %v", q1)
+	t.Logf("P2: %v", q2)
+	// Without the claimed-value plausibility gate, precision must be low
+	// while recall stays decent — the Table 2 signature of P1/P2.
+	for label, q := range map[string]metrics.Quality{"P1": q1, "P2": q2} {
+		if q.Precision > 0.55 {
+			t.Errorf("%s precision %.2f too high for a gate-less baseline", label, q.Precision)
+		}
+		if q.Recall < 0.4 {
+			t.Errorf("%s recall %.2f too low", label, q.Recall)
+		}
+	}
+}
+
+func TestText2SQLNamesAndAttempts(t *testing.T) {
+	model, err := sim.New(llm.ModelGPT35, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NewP1(model, llm.ModelGPT35).Name() != "P1" || NewP2(model, llm.ModelGPT35).Name() != "P2" {
+		t.Error("baseline names")
+	}
+	if (AggChecker{}).Name() != "AggChecker" || NewTAPEX(1).Name() != "TAPEX" {
+		t.Error("baseline names")
+	}
+	docs, err := data.AggChecker(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := docs[0]
+	NewP2(model, llm.ModelGPT35).VerifyDocument(d)
+	for _, c := range d.Claims {
+		if c.Result.Attempts == 0 || c.Result.Method != "P2" {
+			t.Errorf("claim %s not annotated: %+v", c.ID, c.Result)
+		}
+	}
+}

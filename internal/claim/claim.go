@@ -1,0 +1,175 @@
+// Package claim defines the core domain model of CEDAR: documents, claims,
+// and verification outcomes (Definitions 2.1–2.6 of the paper).
+package claim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqldb"
+	"repro/internal/textutil"
+)
+
+// Claim is a verifiable statement: a sentence containing a claim value at a
+// known token span, plus surrounding context (Definition 2.2).
+type Claim struct {
+	// ID uniquely identifies the claim within its benchmark.
+	ID string
+	// Sentence is the claim sentence.
+	Sentence string
+	// Span is the token position of the claim value within Sentence.
+	Span textutil.Span
+	// Context is the paragraph containing the claim sentence.
+	Context string
+	// Value is the claimed value as it appears in the text.
+	Value string
+
+	// Gold holds evaluation-only ground truth. Verification methods must
+	// never read it; it exists so benchmarks can score results.
+	Gold Gold
+
+	// Result is filled in by verification.
+	Result Result
+}
+
+// Gold is ground truth attached to generated claims for scoring.
+type Gold struct {
+	// Query is a SQL query representing the claim semantics.
+	Query string
+	// Correct is whether the claim is actually correct.
+	Correct bool
+	// Difficulty in [0,1] summarizes how hard translation is expected to
+	// be; used only for corpus statistics, never by verification.
+	Difficulty float64
+}
+
+// Result is the verification outcome for one claim (Definition 2.6).
+type Result struct {
+	// Verified is true when some verification method produced a plausible
+	// query for the claim.
+	Verified bool
+	// Correct is the verdict: true when the claim is marked correct.
+	// Unverifiable claims are marked correct by default, per Section 4.
+	Correct bool
+	// Query is the SQL query used for verification (empty if none).
+	Query string
+	// Executable records that at least one attempted translation executed
+	// to a single-cell result, even if it failed the plausibility gate.
+	// Per Section 4, claims that remain unverified but had executable
+	// queries are marked incorrect; only claims with no executable query
+	// at all default to correct.
+	Executable bool
+	// Method names the verification approach that succeeded.
+	Method string
+	// Attempts counts how many method invocations were spent on the claim.
+	Attempts int
+	// Trace is a human-readable log of the last verification attempt: the
+	// model response for one-shot methods, the thought/action/observation
+	// transcript for agents (the Figure 4 view of the paper).
+	Trace string
+}
+
+// IsNumeric reports whether the claim value is numeric (Definition 2.2
+// distinguishes numeric from textual claims).
+func (c *Claim) IsNumeric() bool { return textutil.IsNumeric(c.Value) }
+
+// ValueType returns the {type} placeholder content for prompt templates:
+// "numeric" for numeric claims and the empty string otherwise, as specified
+// in Section 5.2.
+func (c *Claim) ValueType() string {
+	if c.IsNumeric() {
+		return "numeric"
+	}
+	return ""
+}
+
+// Masked returns the claim sentence with the value span obfuscated and the
+// context paragraph with the sentence replaced by its masked form
+// (Algorithm 4).
+func (c *Claim) Masked() (sentence, context string) {
+	masked := textutil.MaskSpan(c.Sentence, c.Span)
+	ctx, _ := textutil.MaskInContext(c.Context, c.Sentence, masked)
+	return masked, ctx
+}
+
+// Document is a text document whose claims refer to an attached relational
+// database (Definition 2.1).
+type Document struct {
+	// ID uniquely identifies the document within its benchmark.
+	ID string
+	// Title is a human-readable headline.
+	Title string
+	// Domain labels the document source category (538, StackOverflow,
+	// NYTimes, Wikipedia); Figure 7 groups documents by it.
+	Domain string
+	// Claims are the claims extracted from the document.
+	Claims []*Claim
+	// Data is the relational database the claims refer to.
+	Data *sqldb.Database
+}
+
+// String summarizes the document.
+func (d *Document) String() string {
+	return fmt.Sprintf("doc %s (%s): %d claims over db %s", d.ID, d.Domain, len(d.Claims), d.Data.Name)
+}
+
+// Text assembles the document's readable article body: each claim's context
+// paragraph, deduplicated in order (claims generated from the same
+// paragraph share it). This is the "text document" of Definition 2.1 as a
+// reader would see it.
+func (d *Document) Text() string {
+	seen := make(map[string]bool)
+	var paras []string
+	for _, c := range d.Claims {
+		p := c.Context
+		if p == "" {
+			p = c.Sentence
+		}
+		if !seen[p] {
+			seen[p] = true
+			paras = append(paras, p)
+		}
+	}
+	return strings.Join(paras, "\n\n")
+}
+
+// CloneDocuments deep-copies a corpus (documents and claims, sharing the
+// immutable databases) so multiple systems can verify the same benchmark
+// without seeing each other's annotations.
+func CloneDocuments(docs []*Document) []*Document {
+	out := make([]*Document, 0, len(docs))
+	for _, d := range docs {
+		nd := *d
+		nd.Claims = make([]*Claim, 0, len(d.Claims))
+		for _, c := range d.Claims {
+			cc := *c
+			cc.Result = Result{}
+			nd.Claims = append(nd.Claims, &cc)
+		}
+		out = append(out, &nd)
+	}
+	return out
+}
+
+// CountIncorrect returns how many claims are incorrect under the gold
+// labels, a corpus statistic used by benchmark reports.
+func CountIncorrect(docs []*Document) int {
+	n := 0
+	for _, d := range docs {
+		for _, c := range d.Claims {
+			if !c.Gold.Correct {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TotalClaims returns the number of claims across documents.
+func TotalClaims(docs []*Document) int {
+	n := 0
+	for _, d := range docs {
+		n += len(d.Claims)
+	}
+	return n
+}

@@ -1,0 +1,107 @@
+// Package embed provides the sentence-embedding substrate used by CEDAR's
+// textual-claim validation. The paper uses the MiniLM-L6 model to compare a
+// claimed textual value against a query result; this package substitutes a
+// deterministic hashed character-n-gram embedding. Like a learned sentence
+// encoder (and unlike exact string matching) it is tolerant of case
+// differences, abbreviations, extra tokens, and small spelling mistakes,
+// which is exactly the property the 0.7/0.8 similarity thresholds in
+// CorrectQuery/CorrectClaim rely on.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Dim is the dimensionality of embedding vectors. 256 buckets keep
+// collisions rare for the short spans (names, titles, categories) that
+// textual claims compare.
+const Dim = 256
+
+// Vector is a dense embedding of a short text span.
+type Vector [Dim]float64
+
+// Embed maps text to its embedding vector. The embedding hashes character
+// trigrams of the normalized text (lowercased, punctuation stripped, padded
+// per word) into Dim buckets and L2-normalizes the result. Identical texts
+// embed identically; texts sharing most trigrams land close in cosine space.
+func Embed(text string) Vector {
+	var v Vector
+	for _, gram := range trigrams(text) {
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(gram))
+		idx := int(h.Sum32() % uint32(Dim))
+		v[idx]++
+	}
+	norm := 0.0
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm == 0 {
+		return v
+	}
+	norm = math.Sqrt(norm)
+	for i := range v {
+		v[i] /= norm
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of two vectors in [-1, 1] (here
+// always [0, 1] since components are non-negative). Zero vectors have
+// similarity zero to everything.
+func Cosine(a, b Vector) float64 {
+	dot := 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	if dot > 1 {
+		dot = 1 // guard float drift past the normalization bound
+	}
+	return dot
+}
+
+// Similarity is the convenience composition Cosine(Embed(a), Embed(b)).
+func Similarity(a, b string) float64 {
+	return Cosine(Embed(a), Embed(b))
+}
+
+// Normalize lowercases text, maps punctuation to spaces, and collapses
+// whitespace — the token normal form shared by embedding and the simulated
+// model's entity matching.
+func Normalize(text string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// trigrams produces padded character trigrams per word of the normalized
+// text, plus whole-word unigram features that boost exact token overlap.
+func trigrams(text string) []string {
+	norm := Normalize(text)
+	if norm == "" {
+		return nil
+	}
+	var grams []string
+	for _, word := range strings.Fields(norm) {
+		grams = append(grams, "#w:"+word)
+		padded := "^" + word + "$"
+		if len(padded) < 3 {
+			grams = append(grams, padded)
+			continue
+		}
+		for i := 0; i+3 <= len(padded); i++ {
+			grams = append(grams, padded[i:i+3])
+		}
+	}
+	return grams
+}

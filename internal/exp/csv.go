@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// CSV emitters: every experiment result can render its rows/series as CSV
+// for plotting the paper's figures with external tools
+// (cedar-bench -csv <experiment>).
+
+func csvString(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(header)
+	_ = w.WriteAll(rows)
+	w.Flush()
+	return b.String()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.6f", v) }
+
+// CSV renders Table 2 as one row per (dataset, system).
+func (r *Table2Result) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Dataset, row.System, fmt.Sprintf("%v", row.Supported),
+			f(row.Quality.Precision), f(row.Quality.Recall), f(row.Quality.F1),
+			f(row.Dollars),
+		})
+	}
+	return csvString([]string{"dataset", "system", "supported", "precision", "recall", "f1", "dollars"}, rows)
+}
+
+// CSV renders the cost report.
+func (r *CostsResult) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Dataset, fmt.Sprintf("%d", row.Claims), f(row.Dollars),
+			fmt.Sprintf("%d", row.Calls), f(row.F1),
+		})
+	}
+	return csvString([]string{"dataset", "claims", "dollars", "calls", "f1"}, rows)
+}
+
+// CSV renders the Figure 5 series (both axes per point).
+func (r *Fig5Result) CSV() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Label, fmt.Sprintf("%v", p.MultiStage), f(p.Threshold),
+			f(p.F1), f(p.Dollars), f(p.ThroughputPerHour),
+		})
+	}
+	return csvString([]string{"label", "multistage", "threshold", "f1", "dollars", "claims_per_hour"}, rows)
+}
+
+// CSV renders the Figure 6 per-document bars.
+func (r *Fig6Result) CSV() string {
+	rows := make([][]string, 0, len(r.Docs))
+	for _, d := range r.Docs {
+		rows = append(rows, []string{d.DocID, f(d.Aligned), f(d.Converted), f(d.DeltaF1)})
+	}
+	return csvString([]string{"document", "aligned_f1", "converted_f1", "delta_f1"}, rows)
+}
+
+// CSV renders Table 3.
+func (r *Table3Result) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Dataset, fmt.Sprintf("%d", row.Queries),
+			f(row.AvgJoins), fmt.Sprintf("%d", row.MaxJoins),
+			f(row.AvgGroupBy), fmt.Sprintf("%d", row.MaxGroupBy),
+			f(row.AvgSubQ), fmt.Sprintf("%d", row.MaxSubQ),
+			f(row.AvgAgg), fmt.Sprintf("%d", row.MaxAgg),
+			f(row.AvgCols), fmt.Sprintf("%d", row.MaxCols),
+		})
+	}
+	return csvString([]string{
+		"dataset", "queries", "avg_joins", "max_joins", "avg_groupby", "max_groupby",
+		"avg_subq", "max_subq", "avg_agg", "max_agg", "avg_cols", "max_cols",
+	}, rows)
+}
+
+// CSV renders the JoinBench comparison.
+func (r *JoinBenchResult) CSV() string {
+	return csvString(
+		[]string{"schema", "f1", "dollars"},
+		[][]string{
+			{"flat", f(r.FlatF1), f(r.FlatDollars)},
+			{"normalized", f(r.NormalizedF1), f(r.NormalizedDollars)},
+		})
+}
+
+// CSV renders the Figure 7 scatter points.
+func (r *Fig7Result) CSV() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.ProfileDoc, p.ProfileDomain, p.EvalDomain,
+			f(p.CostOverhead), f(p.F1Loss), fmt.Sprintf("%v", p.CrossDomain),
+		})
+	}
+	return csvString([]string{"profile_doc", "profile_domain", "eval_domain", "cost_overhead", "f1_loss", "cross_domain"}, rows)
+}
+
+// CSV renders the model-fit sweep.
+func (r *ModelFitResult) CSV() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{f(p.Threshold), f(p.Modeled), f(p.Realized), p.Schedule})
+	}
+	return csvString([]string{"threshold", "modeled", "realized", "schedule"}, rows)
+}

@@ -1,0 +1,128 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (Section 7). Each driver generates its workload, runs CEDAR
+// and/or the baselines, and returns a result whose Render method prints the
+// same rows/series the paper reports. The drivers are used by the
+// cedar-bench command and by the repository's benchmark suite.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/claim"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/llm"
+	"repro/internal/llm/sim"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/schedule"
+	"repro/internal/verify"
+)
+
+// Stack bundles the standard CEDAR verification methods of Section 7.1 —
+// one-shot with GPT-3.5 and GPT-4o, agents with GPT-4o and GPT-4.1 — with
+// the ledger metering all of them.
+type Stack struct {
+	Methods []verify.Method
+	Ledger  *llm.Ledger
+}
+
+// Canonical method labels used across experiments.
+const (
+	MethodOneShot35 = "oneshot-gpt3.5"
+	MethodOneShot4o = "oneshot-gpt4o"
+	MethodAgent4o   = "agent-gpt4o"
+	MethodAgent41   = "agent-gpt4.1"
+)
+
+// NewStack builds the method stack over fresh simulated models.
+func NewStack(seed int64) (*Stack, error) {
+	ledger := llm.NewLedger()
+	client := func(model string) (llm.Client, error) {
+		m, err := sim.New(model, seed)
+		if err != nil {
+			return nil, err
+		}
+		return &llm.Metered{Client: m, Ledger: ledger}, nil
+	}
+	c35, err := client(llm.ModelGPT35)
+	if err != nil {
+		return nil, err
+	}
+	c4o, err := client(llm.ModelGPT4o)
+	if err != nil {
+		return nil, err
+	}
+	c41, err := client(llm.ModelGPT41)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{
+		Methods: []verify.Method{
+			verify.NewOneShot(c35, llm.ModelGPT35, MethodOneShot35),
+			verify.NewOneShot(c4o, llm.ModelGPT4o, MethodOneShot4o),
+			verify.NewAgent(c4o, llm.ModelGPT4o, MethodAgent4o, seed),
+			verify.NewAgent(c41, llm.ModelGPT41, MethodAgent41, seed+1),
+		},
+		Ledger: ledger,
+	}, nil
+}
+
+// Profile estimates method statistics on a held-out corpus.
+func (s *Stack) Profile(profDocs []*claim.Document) ([]schedule.MethodStats, error) {
+	return profile.Run(s.Methods, profDocs, s.Ledger, profile.Options{})
+}
+
+// RunCEDAR plans a schedule at the accuracy target, verifies the documents,
+// and returns the quality metrics plus the run's resource consumption.
+func (s *Stack) RunCEDAR(stats []schedule.MethodStats, target float64, docs []*claim.Document) (metrics.Quality, metrics.RunCost, *core.Pipeline, error) {
+	p, err := core.New(core.Config{Methods: s.Methods, Stats: stats, AccuracyTarget: target})
+	if err != nil {
+		return metrics.Quality{}, metrics.RunCost{}, nil, err
+	}
+	q, rc := s.runPipeline(p, docs)
+	return q, rc, p, nil
+}
+
+// RunSchedule verifies the documents under a fixed schedule.
+func (s *Stack) RunSchedule(plan *schedule.Schedule, docs []*claim.Document) (metrics.Quality, metrics.RunCost, error) {
+	p, err := core.NewWithSchedule(core.Config{Methods: s.Methods}, plan)
+	if err != nil {
+		return metrics.Quality{}, metrics.RunCost{}, err
+	}
+	q, rc := s.runPipeline(p, docs)
+	return q, rc, nil
+}
+
+func (s *Stack) runPipeline(p *core.Pipeline, docs []*claim.Document) (metrics.Quality, metrics.RunCost) {
+	s.Ledger.Reset()
+	p.VerifyDocuments(docs)
+	rc := metrics.RunCost{
+		Dollars: s.Ledger.TotalDollars(),
+		Calls:   s.Ledger.TotalCalls(),
+		Wall:    s.Ledger.TotalWall(),
+		Claims:  claim.TotalClaims(docs),
+	}
+	s.Ledger.Reset()
+	return metrics.Evaluate(docs), rc
+}
+
+// profileSeed offsets a corpus seed to derive the held-out profiling corpus
+// for the same benchmark shape.
+func profileSeed(seed int64) int64 { return seed + 1000003 }
+
+// datasetSpec names a benchmark and its generator.
+type datasetSpec struct {
+	name string
+	gen  func(seed int64) ([]*claim.Document, error)
+}
+
+func standardDatasets() []datasetSpec {
+	return []datasetSpec{
+		{name: "AggChecker", gen: data.AggChecker},
+		{name: "TabFact", gen: data.TabFact},
+		{name: "WikiText", gen: data.WikiText},
+	}
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f", x*100) }

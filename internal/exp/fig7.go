@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/claim"
+	"repro/internal/data"
+	"repro/internal/schedule"
+)
+
+// Fig7Point is one marker of Figure 7: a schedule profiled on one document
+// applied to one domain's claims, positioned by its cost overhead and F1
+// loss relative to that domain's own schedule.
+type Fig7Point struct {
+	ProfileDoc    string
+	ProfileDomain string
+	EvalDomain    string
+	CostOverhead  float64
+	F1Loss        float64
+	CrossDomain   bool
+}
+
+// Fig7Result reproduces the distribution-shift study of Section 7.3.3.
+type Fig7Result struct {
+	Points []Fig7Point
+}
+
+// Fig7 profiles CEDAR's methods on eight single documents (two per
+// AggChecker domain), plans one schedule per profile, and applies every
+// schedule to every domain's evaluation claims.
+func Fig7(seed int64) (*Fig7Result, error) {
+	docs, err := data.AggChecker(seed)
+	if err != nil {
+		return nil, err
+	}
+	byDomain := map[string][]*claim.Document{}
+	var domains []string
+	for _, d := range docs {
+		if len(byDomain[d.Domain]) == 0 {
+			domains = append(domains, d.Domain)
+		}
+		byDomain[d.Domain] = append(byDomain[d.Domain], d)
+	}
+
+	stack, err := NewStack(seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Two profiling documents per domain; evaluation uses the remaining
+	// documents of each domain.
+	type profiled struct {
+		docID  string
+		domain string
+		plan   *schedule.Schedule
+	}
+	var plans []profiled
+	evalSets := map[string][]*claim.Document{}
+	for _, dom := range domains {
+		ds := byDomain[dom]
+		if len(ds) < 4 {
+			return nil, fmt.Errorf("exp: domain %s has too few documents", dom)
+		}
+		for _, pd := range ds[:2] {
+			stats, err := stack.Profile([]*claim.Document{pd})
+			if err != nil {
+				return nil, err
+			}
+			plan, err := schedule.Plan(stats, 2, 0.99)
+			if err != nil {
+				return nil, err
+			}
+			plans = append(plans, profiled{docID: pd.ID, domain: dom, plan: plan})
+		}
+		evalSets[dom] = ds[2:]
+	}
+
+	// Run every schedule on every domain.
+	type runKey struct {
+		planIdx int
+		domain  string
+	}
+	f1s := map[runKey]float64{}
+	costs := map[runKey]float64{}
+	for i, p := range plans {
+		for _, dom := range domains {
+			evalDocs := claim.CloneDocuments(evalSets[dom])
+			q, rc, err := stack.RunSchedule(p.plan, evalDocs)
+			if err != nil {
+				return nil, err
+			}
+			f1s[runKey{i, dom}] = q.F1
+			costs[runKey{i, dom}] = rc.Dollars
+		}
+	}
+
+	// Reference per domain: the best same-domain schedule (by F1, then
+	// cost) — domain-specific profiling is the baseline the paper
+	// compares against.
+	ref := map[string]runKey{}
+	for _, dom := range domains {
+		best := runKey{-1, dom}
+		for i, p := range plans {
+			if p.domain != dom {
+				continue
+			}
+			k := runKey{i, dom}
+			if best.planIdx < 0 || f1s[k] > f1s[best] ||
+				(f1s[k] == f1s[best] && costs[k] < costs[best]) {
+				best = k
+			}
+		}
+		ref[dom] = best
+	}
+
+	res := &Fig7Result{}
+	for i, p := range plans {
+		for _, dom := range domains {
+			k := runKey{i, dom}
+			r := ref[dom]
+			overhead := 1.0
+			if costs[r] > 0 {
+				overhead = costs[k] / costs[r]
+			}
+			res.Points = append(res.Points, Fig7Point{
+				ProfileDoc:    p.docID,
+				ProfileDomain: p.domain,
+				EvalDomain:    dom,
+				CostOverhead:  overhead,
+				F1Loss:        f1s[r] - f1s[k],
+				CrossDomain:   p.domain != dom,
+			})
+		}
+	}
+	return res, nil
+}
+
+// WithinBounds returns the fraction of cross-domain points with cost
+// overhead below maxOverhead and F1 loss below maxLoss (the paper reports
+// 80% within factor 2 and 0.1).
+func (r *Fig7Result) WithinBounds(maxOverhead, maxLoss float64) float64 {
+	total, ok := 0, 0
+	for _, p := range r.Points {
+		if !p.CrossDomain {
+			continue
+		}
+		total++
+		if p.CostOverhead <= maxOverhead && p.F1Loss <= maxLoss {
+			ok++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(ok) / float64(total)
+}
+
+// Render prints the scatter points.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: cost overhead vs F1 loss across profiling domains.\n")
+	fmt.Fprintf(&b, "%-12s %-14s %-14s %12s %8s\n", "Profile doc", "Profile dom", "Eval dom", "CostOverhead", "F1 loss")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s %-14s %-14s %12.2f %+8.3f\n",
+			p.ProfileDoc, p.ProfileDomain, p.EvalDomain, p.CostOverhead, p.F1Loss)
+	}
+	fmt.Fprintf(&b, "cross-domain points within (2x cost, 0.1 F1): %.0f%%\n",
+		r.WithinBounds(2, 0.1)*100)
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/claim"
+	"repro/internal/data"
+	"repro/internal/sqldb"
+)
+
+// Table3Row holds the per-query average and maximum complexity statistics
+// of one dataset (Table 3).
+type Table3Row struct {
+	Dataset                                        string
+	AvgJoins, AvgGroupBy, AvgSubQ, AvgAgg, AvgCols float64
+	MaxJoins, MaxGroupBy, MaxSubQ, MaxAgg, MaxCols int
+	Queries                                        int
+}
+
+// Table3Result reproduces Table 3: query complexity across data sets.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 analyzes the gold queries of all four benchmarks.
+func Table3(seed int64) (*Table3Result, error) {
+	res := &Table3Result{}
+	for _, ds := range standardDatasets() {
+		docs, err := ds.gen(seed)
+		if err != nil {
+			return nil, err
+		}
+		row, err := analyzeCorpus(ds.name, docs)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	_, normalized, err := data.JoinBench(seed)
+	if err != nil {
+		return nil, err
+	}
+	row, err := analyzeCorpus("JoinBench", normalized)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, row)
+	return res, nil
+}
+
+func analyzeCorpus(name string, docs []*claim.Document) (Table3Row, error) {
+	row := Table3Row{Dataset: name}
+	var sumJ, sumG, sumS, sumA, sumC int
+	for _, d := range docs {
+		for _, c := range d.Claims {
+			cx, err := sqldb.Analyze(c.Gold.Query)
+			if err != nil {
+				return row, fmt.Errorf("exp: analyze %s gold %q: %w", c.ID, c.Gold.Query, err)
+			}
+			row.Queries++
+			sumJ += cx.Joins
+			sumG += cx.GroupBys
+			sumS += cx.Subqueries
+			sumA += cx.Aggregates
+			sumC += cx.Columns
+			row.MaxJoins = maxInt(row.MaxJoins, cx.Joins)
+			row.MaxGroupBy = maxInt(row.MaxGroupBy, cx.GroupBys)
+			row.MaxSubQ = maxInt(row.MaxSubQ, cx.Subqueries)
+			row.MaxAgg = maxInt(row.MaxAgg, cx.Aggregates)
+			row.MaxCols = maxInt(row.MaxCols, cx.Columns)
+		}
+	}
+	if row.Queries > 0 {
+		n := float64(row.Queries)
+		row.AvgJoins = float64(sumJ) / n
+		row.AvgGroupBy = float64(sumG) / n
+		row.AvgSubQ = float64(sumS) / n
+		row.AvgAgg = float64(sumA) / n
+		row.AvgCols = float64(sumC) / n
+	}
+	return row, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Row returns the named dataset's row, or nil.
+func (r *Table3Result) Row(dataset string) *Table3Row {
+	for i := range r.Rows {
+		if r.Rows[i].Dataset == dataset {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Render prints the avg/max table in the paper's layout.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3: query complexity statistics across data sets (avg/max).\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s\n", "Data set", "Joins", "GroupBy", "SubQ", "Agg", "Cols")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %7.2f/%2d %7.2f/%2d %7.2f/%2d %7.2f/%2d %7.2f/%2d\n",
+			row.Dataset,
+			row.AvgJoins, row.MaxJoins,
+			row.AvgGroupBy, row.MaxGroupBy,
+			row.AvgSubQ, row.MaxSubQ,
+			row.AvgAgg, row.MaxAgg,
+			row.AvgCols, row.MaxCols)
+	}
+	return b.String()
+}

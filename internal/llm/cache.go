@@ -1,0 +1,98 @@
+package llm
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+)
+
+// Cached wraps a Client with a response cache for temperature-0 requests.
+// Temperature-0 completions are deterministic per prompt (both for real
+// APIs in greedy mode and for the simulated models), so repeating one is
+// pure waste; cached hits cost nothing and are not re-billed by downstream
+// ledgers because Complete is simply not invoked. Requests with a positive
+// temperature always pass through — caching them would destroy the retry
+// randomization CEDAR's scheduler depends on.
+type Cached struct {
+	// Client is the underlying completion provider.
+	Client Client
+	// MaxEntries bounds the cache (LRU eviction); 0 means 4096.
+	MaxEntries int
+
+	mu    sync.Mutex
+	table map[uint64]*list.Element
+	order *list.List // front = most recently used
+	hits  int
+	calls int
+}
+
+type cacheEntry struct {
+	key  uint64
+	resp Response
+}
+
+// NewCached wraps a client with a temperature-0 cache.
+func NewCached(client Client, maxEntries int) *Cached {
+	return &Cached{Client: client, MaxEntries: maxEntries}
+}
+
+// Complete implements Client.
+func (c *Cached) Complete(req Request) (Response, error) {
+	if req.Temperature > 0 {
+		return c.Client.Complete(req)
+	}
+	key := cacheKey(req)
+	c.mu.Lock()
+	c.calls++
+	if c.table == nil {
+		c.table = make(map[uint64]*list.Element)
+		c.order = list.New()
+	}
+	if el, ok := c.table[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		resp := el.Value.(*cacheEntry).resp
+		c.mu.Unlock()
+		return resp, nil
+	}
+	c.mu.Unlock()
+
+	resp, err := c.Client.Complete(req)
+	if err != nil {
+		return resp, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.table[key]; !ok {
+		c.table[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
+		max := c.MaxEntries
+		if max <= 0 {
+			max = 4096
+		}
+		for c.order.Len() > max {
+			back := c.order.Back()
+			delete(c.table, back.Value.(*cacheEntry).key)
+			c.order.Remove(back)
+		}
+	}
+	return resp, nil
+}
+
+// Stats returns the number of temperature-0 lookups and hits so far.
+func (c *Cached) Stats() (calls, hits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls, c.hits
+}
+
+func cacheKey(req Request) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(req.Model))
+	for _, m := range req.Messages {
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(m.Role))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(m.Content))
+	}
+	return h.Sum64()
+}

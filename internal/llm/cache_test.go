@@ -1,0 +1,119 @@
+package llm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// countingClient counts invocations and returns a response echoing the
+// prompt, so cache correctness is observable.
+type countingClient struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingClient) Complete(req Request) (Response, error) {
+	c.mu.Lock()
+	c.calls++
+	n := c.calls
+	c.mu.Unlock()
+	return Response{
+		Content: fmt.Sprintf("reply %d to %s", n, PromptText(req.Messages)),
+		Usage:   Usage{PromptTokens: 10, CompletionTokens: 5},
+	}, nil
+}
+
+func req(model, prompt string, temp float64) Request {
+	return Request{Model: model, Messages: []Message{{Role: RoleUser, Content: prompt}}, Temperature: temp}
+}
+
+func TestCachedHitsTempZero(t *testing.T) {
+	under := &countingClient{}
+	c := NewCached(under, 0)
+	r1, err := c.Complete(req("m", "hello", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Complete(req("m", "hello", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Content != r2.Content {
+		t.Error("cached response differs")
+	}
+	if under.calls != 1 {
+		t.Errorf("underlying calls = %d want 1", under.calls)
+	}
+	calls, hits := c.Stats()
+	if calls != 2 || hits != 1 {
+		t.Errorf("stats = %d/%d", calls, hits)
+	}
+}
+
+func TestCachedBypassesPositiveTemperature(t *testing.T) {
+	under := &countingClient{}
+	c := NewCached(under, 0)
+	a, _ := c.Complete(req("m", "hello", 0.5))
+	b, _ := c.Complete(req("m", "hello", 0.5))
+	if a.Content == b.Content {
+		t.Error("positive-temperature completions must not be cached")
+	}
+	if under.calls != 2 {
+		t.Errorf("underlying calls = %d", under.calls)
+	}
+}
+
+func TestCachedKeysOnModelAndMessages(t *testing.T) {
+	under := &countingClient{}
+	c := NewCached(under, 0)
+	c.Complete(req("m1", "p", 0))
+	c.Complete(req("m2", "p", 0))
+	c.Complete(req("m1", "q", 0))
+	if under.calls != 3 {
+		t.Errorf("distinct requests must all reach the client: %d", under.calls)
+	}
+}
+
+func TestCachedEviction(t *testing.T) {
+	under := &countingClient{}
+	c := NewCached(under, 2)
+	c.Complete(req("m", "a", 0))
+	c.Complete(req("m", "b", 0))
+	c.Complete(req("m", "c", 0)) // evicts "a"
+	c.Complete(req("m", "a", 0)) // miss again
+	if under.calls != 4 {
+		t.Errorf("calls = %d want 4 (eviction)", under.calls)
+	}
+	// "c" and "a" are resident now.
+	c.Complete(req("m", "a", 0))
+	c.Complete(req("m", "c", 0))
+	if under.calls != 4 {
+		t.Errorf("calls = %d, resident entries missed", under.calls)
+	}
+}
+
+func TestCachedConcurrent(t *testing.T) {
+	under := &countingClient{}
+	c := NewCached(under, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := c.Complete(req("m", fmt.Sprintf("p%d", j%8), 0)); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	calls, hits := c.Stats()
+	if calls != 32*50 {
+		t.Errorf("calls = %d", calls)
+	}
+	if hits < calls-100 {
+		t.Errorf("hits = %d of %d, cache barely effective", hits, calls)
+	}
+}

@@ -1,0 +1,139 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Ledger accumulates token usage, dollar fees, and simulated wall time per
+// model across a verification run. It is safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	byModel map[string]*LedgerEntry
+}
+
+// LedgerEntry is the accumulated record for one model.
+type LedgerEntry struct {
+	Model   string
+	Calls   int
+	Usage   Usage
+	Dollars float64
+	Wall    time.Duration
+}
+
+// NewLedger constructs an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{byModel: make(map[string]*LedgerEntry)}
+}
+
+// Record books one completion against the ledger.
+func (l *Ledger) Record(model string, u Usage, latency time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.byModel[model]
+	if !ok {
+		e = &LedgerEntry{Model: model}
+		l.byModel[model] = e
+	}
+	e.Calls++
+	e.Usage = e.Usage.Add(u)
+	e.Dollars += PriceFor(model).Cost(u)
+	e.Wall += latency
+}
+
+// TotalDollars returns the accumulated fee across all models.
+func (l *Ledger) TotalDollars() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := 0.0
+	for _, e := range l.byModel {
+		total += e.Dollars
+	}
+	return total
+}
+
+// TotalCalls returns the number of completions booked.
+func (l *Ledger) TotalCalls() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.byModel {
+		n += e.Calls
+	}
+	return n
+}
+
+// TotalWall returns the accumulated simulated wall time. Multi-stage
+// verification is sequential per claim, so summed latency is the simulated
+// elapsed time used to derive throughput.
+func (l *Ledger) TotalWall() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var w time.Duration
+	for _, e := range l.byModel {
+		w += e.Wall
+	}
+	return w
+}
+
+// TotalUsage returns the accumulated token usage across models.
+func (l *Ledger) TotalUsage() Usage {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var u Usage
+	for _, e := range l.byModel {
+		u = u.Add(e.Usage)
+	}
+	return u
+}
+
+// Entries returns per-model records sorted by model name.
+func (l *Ledger) Entries() []LedgerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LedgerEntry, 0, len(l.byModel))
+	for _, e := range l.byModel {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}
+
+// Reset clears the ledger.
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byModel = make(map[string]*LedgerEntry)
+}
+
+// String renders a per-model cost report.
+func (l *Ledger) String() string {
+	var b strings.Builder
+	for _, e := range l.Entries() {
+		fmt.Fprintf(&b, "%-20s calls=%-5d prompt=%-8d completion=%-8d $%.4f\n",
+			e.Model, e.Calls, e.Usage.PromptTokens, e.Usage.CompletionTokens, e.Dollars)
+	}
+	fmt.Fprintf(&b, "total: $%.4f over %d calls", l.TotalDollars(), l.TotalCalls())
+	return b.String()
+}
+
+// Metered wraps a Client so that every completion is booked in the ledger.
+type Metered struct {
+	Client Client
+	Ledger *Ledger
+}
+
+// Complete implements Client.
+func (m *Metered) Complete(req Request) (Response, error) {
+	resp, err := m.Client.Complete(req)
+	if err != nil {
+		return resp, err
+	}
+	if m.Ledger != nil {
+		m.Ledger.Record(req.Model, resp.Usage, resp.Latency)
+	}
+	return resp, nil
+}

@@ -1,0 +1,87 @@
+// Package llm defines the model-agnostic large-language-model interface the
+// CEDAR pipeline is written against, plus token accounting and a monetary
+// cost ledger. The paper's implementation calls OpenAI's GPT series; this
+// repository plugs in the simulated model family from llm/sim, which
+// reproduces the observables CEDAR depends on — success probability, token
+// consumption, per-token fees, and temperature-dependent randomization —
+// without network access.
+package llm
+
+import (
+	"errors"
+	"time"
+)
+
+// Role names for chat messages.
+const (
+	RoleSystem    = "system"
+	RoleUser      = "user"
+	RoleAssistant = "assistant"
+)
+
+// Message is one chat turn.
+type Message struct {
+	Role    string
+	Content string
+}
+
+// Request is a completion request against a named model.
+type Request struct {
+	Model       string
+	Messages    []Message
+	Temperature float64
+	// MaxTokens caps the completion length; zero means provider default.
+	MaxTokens int
+}
+
+// Usage reports token consumption of one completion.
+type Usage struct {
+	PromptTokens     int
+	CompletionTokens int
+}
+
+// Total returns the combined token count.
+func (u Usage) Total() int { return u.PromptTokens + u.CompletionTokens }
+
+// Add accumulates another usage record.
+func (u Usage) Add(o Usage) Usage {
+	return Usage{
+		PromptTokens:     u.PromptTokens + o.PromptTokens,
+		CompletionTokens: u.CompletionTokens + o.CompletionTokens,
+	}
+}
+
+// Response is the result of one completion.
+type Response struct {
+	Content string
+	Usage   Usage
+	// Latency is the (simulated) wall-clock time of the call, used for the
+	// throughput axis of Figure 5.
+	Latency time.Duration
+}
+
+// Client is a completion provider.
+type Client interface {
+	// Complete runs one chat completion.
+	Complete(req Request) (Response, error)
+}
+
+// ErrUnknownModel is returned for requests naming an unregistered model.
+var ErrUnknownModel = errors.New("llm: unknown model")
+
+// PromptText flattens a message list to plain text, the form consumed by
+// token counting and by the simulated models.
+func PromptText(msgs []Message) string {
+	n := 0
+	for _, m := range msgs {
+		n += len(m.Content) + 1
+	}
+	buf := make([]byte, 0, n)
+	for i, m := range msgs {
+		if i > 0 {
+			buf = append(buf, '\n')
+		}
+		buf = append(buf, m.Content...)
+	}
+	return string(buf)
+}

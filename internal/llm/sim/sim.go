@@ -1,0 +1,232 @@
+// Package sim implements the simulated language-model family standing in
+// for the OpenAI GPT series the paper uses. A simulated model reads the
+// actual prompt text (claim, schema, few-shot sample, context), parses the
+// masked claim through the nl layer the way an LLM reads English, and
+// produces either a one-shot SQL translation or ReAct-formatted agent steps.
+//
+// Failures are not scripted per claim; they emerge from the same mechanisms
+// the paper describes: entity aliases that do not occur in the data,
+// ambiguous column phrases, unit mismatches, unsupported claim shapes for
+// weaker tiers, and temperature-dependent random corruption. Stronger tiers
+// read context, handle unit conversions, and make fewer mistakes — at a
+// higher per-token price (see llm.DefaultPricing).
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"repro/internal/llm"
+	"repro/internal/nl"
+)
+
+// Profile describes one simulated model tier.
+type Profile struct {
+	// Name is the canonical model name (llm.ModelGPT35, ...).
+	Name string
+	// KindSkill is the per-claim-kind probability of a structurally
+	// correct translation before other noise sources.
+	KindSkill map[nl.Kind]float64
+	// NoiseZero is the base corruption probability at temperature 0.
+	NoiseZero float64
+	// NoisePerTemp is the additional corruption probability per unit of
+	// temperature.
+	NoisePerTemp float64
+	// AgentExtraNoise is added to the corruption probability in agent
+	// conversations: long multi-turn trajectories drift more than single
+	// completions, and the agent's willingness to accept "close" feedback
+	// lets wrong interpretations slip through.
+	AgentExtraNoise float64
+	// DerailProb is the probability that an agent conversation derails —
+	// the model stops following the ReAct format and never reaches a
+	// final answer, a notorious failure mode of LLM agent scaffolding.
+	DerailProb float64
+	// JoinSkill is the probability of correctly formulating a query that
+	// requires joins over a normalized schema; weaker tiers often fail
+	// multi-table reasoning (Section 7.3.2's cost increase comes from
+	// join claims escalating to stronger methods).
+	JoinSkill float64
+	// ReadsContext controls whether the model uses the claim context to
+	// disambiguate underspecified column phrases.
+	ReadsContext bool
+	// UnitSkill controls whether the model applies unit conversions when
+	// claims use different units than the data.
+	UnitSkill bool
+	// FewShotBoost multiplies noise when a few-shot sample is present
+	// (values < 1 mean samples help).
+	FewShotBoost float64
+	// CheatProb is the probability of echoing the claim value as a SQL
+	// constant when the prompt was not masked (Figure 2's failure mode).
+	CheatProb float64
+	// Verbosity scales the length of reasoning filler in responses, which
+	// drives completion-token costs.
+	Verbosity int
+}
+
+func skills(base float64, overrides map[nl.Kind]float64) map[nl.Kind]float64 {
+	m := make(map[nl.Kind]float64)
+	for k := nl.KindLookup; k <= nl.KindMode; k++ {
+		m[k] = base
+	}
+	for k, v := range overrides {
+		m[k] = v
+	}
+	return m
+}
+
+// Profiles returns the default tier definitions keyed by model name.
+func Profiles() map[string]Profile {
+	return map[string]Profile{
+		llm.ModelGPT35: {
+			Name: llm.ModelGPT35,
+			KindSkill: skills(0.8, map[nl.Kind]float64{
+				nl.KindLookup:   0.88,
+				nl.KindCountAll: 0.88,
+				nl.KindAvg:      0.75,
+				nl.KindMin:      0.72,
+				nl.KindMax:      0.72,
+				nl.KindDiff:     0.3,
+				nl.KindArgMax:   0.3,
+				nl.KindArgMin:   0.3,
+				nl.KindPercent:  0.4,
+				nl.KindMode:     0.25,
+			}),
+			NoiseZero:       0.06,
+			NoisePerTemp:    0.2,
+			AgentExtraNoise: 0.1,
+			DerailProb:      0.15,
+			JoinSkill:       0.3,
+			ReadsContext:    false,
+			UnitSkill:       false,
+			FewShotBoost:    0.55,
+			CheatProb:       0.8,
+			Verbosity:       1,
+		},
+		llm.ModelGPT4o: {
+			Name: llm.ModelGPT4o,
+			KindSkill: skills(0.96, map[nl.Kind]float64{
+				nl.KindDiff:    0.88,
+				nl.KindArgMax:  0.9,
+				nl.KindArgMin:  0.9,
+				nl.KindPercent: 0.86,
+				nl.KindMode:    0.85,
+			}),
+			NoiseZero:       0.07,
+			NoisePerTemp:    0.16,
+			AgentExtraNoise: 0.05,
+			DerailProb:      0.12,
+			JoinSkill:       0.8,
+			ReadsContext:    true,
+			UnitSkill:       true,
+			FewShotBoost:    0.65,
+			CheatProb:       0.7,
+			Verbosity:       2,
+		},
+		llm.ModelGPT41: {
+			Name: llm.ModelGPT41,
+			KindSkill: skills(0.975, map[nl.Kind]float64{
+				nl.KindDiff:    0.92,
+				nl.KindArgMax:  0.94,
+				nl.KindArgMin:  0.94,
+				nl.KindPercent: 0.9,
+				nl.KindMode:    0.9,
+			}),
+			NoiseZero:       0.05,
+			NoisePerTemp:    0.12,
+			AgentExtraNoise: 0.04,
+			DerailProb:      0.1,
+			JoinSkill:       0.85,
+			ReadsContext:    true,
+			UnitSkill:       true,
+			FewShotBoost:    0.65,
+			CheatProb:       0.6,
+			Verbosity:       3,
+		},
+	}
+}
+
+// Model is a simulated LLM implementing llm.Client.
+type Model struct {
+	profile Profile
+	lex     *nl.Lexicon
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New constructs a simulated model by canonical name. The seed drives the
+// model's sampling randomness (used at temperature > 0).
+func New(name string, seed int64) (*Model, error) {
+	p, ok := Profiles()[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", llm.ErrUnknownModel, name)
+	}
+	return &Model{
+		profile: p,
+		lex:     nl.DefaultLexicon(),
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Profile returns the model's tier definition.
+func (m *Model) Profile() Profile { return m.profile }
+
+// Complete implements llm.Client. It dispatches between the one-shot
+// translation behaviour and the ReAct agent behaviour based on the prompt.
+func (m *Model) Complete(req llm.Request) (llm.Response, error) {
+	if req.Model != "" && req.Model != m.profile.Name {
+		return llm.Response{}, fmt.Errorf("%w: model %q served by %q", llm.ErrUnknownModel, req.Model, m.profile.Name)
+	}
+	prompt := llm.PromptText(req.Messages)
+	rng := m.rngFor(prompt, req.Temperature)
+
+	var content string
+	if strings.Contains(prompt, agentMarker) {
+		content = m.agentStep(prompt, req.Temperature, rng)
+	} else {
+		content = m.oneShot(prompt, req.Temperature, rng)
+	}
+	usage := llm.Usage{
+		PromptTokens:     llm.CountMessageTokens(req.Messages),
+		CompletionTokens: llm.CountTokens(content),
+	}
+	return llm.Response{
+		Content: content,
+		Usage:   usage,
+		Latency: llm.PriceFor(m.profile.Name).Latency(usage),
+	}, nil
+}
+
+// rngFor returns the randomness source for one completion. At temperature
+// zero the model is deterministic per prompt (like real sampling with
+// temperature 0): the same input always yields the same output, so retrying
+// at temperature 0 cannot change the outcome. At higher temperatures the
+// model's shared stream makes retries genuinely random — the property
+// CEDAR's retry scheduling relies on (Assumption 1).
+func (m *Model) rngFor(prompt string, temperature float64) *rand.Rand {
+	if temperature <= 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(m.profile.Name))
+		_, _ = h.Write([]byte(prompt))
+		return rand.New(rand.NewSource(int64(h.Sum64())))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return rand.New(rand.NewSource(m.rng.Int63()))
+}
+
+// noise returns the corruption probability at the given temperature, with
+// the few-shot discount applied when a sample is present.
+func (m *Model) noise(temperature float64, hasSample bool) float64 {
+	n := m.profile.NoiseZero + m.profile.NoisePerTemp*temperature
+	if hasSample {
+		n *= m.profile.FewShotBoost
+	}
+	if n > 0.95 {
+		n = 0.95
+	}
+	return n
+}

@@ -1,0 +1,30 @@
+package llm
+
+import "strings"
+
+// CountTokens estimates the token count of text with the standard
+// byte-pair-encoding rule of thumb: roughly one token per four characters,
+// but never fewer tokens than whitespace-delimited words (short words cost a
+// full token each). The estimate only needs to be proportional and
+// deterministic — CEDAR's cost model works on relative token volumes.
+func CountTokens(text string) int {
+	if text == "" {
+		return 0
+	}
+	words := len(strings.Fields(text))
+	byChars := (len(text) + 3) / 4
+	if words > byChars {
+		return words
+	}
+	return byChars
+}
+
+// CountMessageTokens estimates the prompt tokens of a chat request,
+// including a small per-message framing overhead the way chat APIs bill.
+func CountMessageTokens(msgs []Message) int {
+	total := 0
+	for _, m := range msgs {
+		total += CountTokens(m.Content) + 4
+	}
+	return total
+}

@@ -1,0 +1,87 @@
+package nl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqldb"
+	"repro/internal/textutil"
+)
+
+func moviesDB(t testing.TB) *sqldb.Database {
+	t.Helper()
+	db := sqldb.NewDatabase("movies")
+	tab := sqldb.NewTable("movies", "title", "director", "runtime_min")
+	rows := []struct {
+		title, director string
+		rt              int64
+	}{
+		{"A", "Ava Lindqvist", 100},
+		{"B", "Ava Lindqvist", 110},
+		{"C", "Marco Benedetti", 120},
+		{"D", "Ava Lindqvist", 90},
+		{"E", "Yuki Tanaka", 95},
+	}
+	for _, r := range rows {
+		tab.MustAppendRow(sqldb.Text(r.title), sqldb.Text(r.director), sqldb.Int(r.rt))
+	}
+	db.AddTable(tab)
+	return db
+}
+
+// TestModeRoundTrip exercises the GROUP BY claim kind end to end: build the
+// gold query, render the sentence, mask, parse, rebuild, and compare.
+func TestModeRoundTrip(t *testing.T) {
+	db := moviesDB(t)
+	schema := SchemaFromDatabase(db)
+	lex := DefaultLexicon()
+	spec := Spec{Kind: KindMode, Column: "director", Noun: "films"}
+
+	goldSQL, err := BuildSQL(schema, &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(goldSQL, "GROUP BY") || !strings.Contains(goldSQL, "ORDER BY COUNT(*) DESC LIMIT 1") {
+		t.Fatalf("gold SQL shape: %s", goldSQL)
+	}
+	goldVal, err := sqldb.QueryScalar(db, goldSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goldVal.Text() != "Ava Lindqvist" {
+		t.Fatalf("mode = %v", goldVal)
+	}
+
+	sentence := RenderSentence(&spec, lex, RenderOptions{Value: goldVal.Text()})
+	span, ok := textutil.FindValueSpan(sentence, goldVal.Text())
+	if !ok {
+		t.Fatalf("value not in %q", sentence)
+	}
+	masked := textutil.MaskSpan(sentence, span)
+	parsed, err := ParseMasked(masked, schema, lex, "")
+	if err != nil {
+		t.Fatalf("ParseMasked(%q): %v", masked, err)
+	}
+	if parsed.Spec.Kind != KindMode || parsed.Spec.Column != "director" {
+		t.Fatalf("parsed = %+v", parsed.Spec)
+	}
+	gotSQL, err := BuildSQL(schema, &parsed.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotVal, err := sqldb.QueryScalar(db, gotSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotVal.Text() != goldVal.Text() {
+		t.Errorf("round trip: %v vs %v", gotVal, goldVal)
+	}
+	// The analyzer must see the GROUP BY.
+	cx, err := sqldb.Analyze(goldSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cx.GroupBys != 1 {
+		t.Errorf("GroupBys = %d", cx.GroupBys)
+	}
+}

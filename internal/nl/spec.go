@@ -1,0 +1,358 @@
+package nl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/textutil"
+)
+
+// Kind enumerates the semantic shapes of claims the corpus generates. The
+// distribution over kinds per dataset drives the query-complexity statistics
+// of Table 3.
+type Kind int
+
+// Claim kinds, roughly ordered by translation difficulty.
+const (
+	// KindLookup reads one cell: SELECT col FROM t WHERE entity = v.
+	KindLookup Kind = iota
+	// KindCountAll counts all rows of the entity table.
+	KindCountAll
+	// KindCount counts rows matching an equality filter.
+	KindCount
+	// KindSum aggregates a column with SUM (optional filter).
+	KindSum
+	// KindAvg aggregates a column with AVG (optional filter).
+	KindAvg
+	// KindMin aggregates a column with MIN.
+	KindMin
+	// KindMax aggregates a column with MAX.
+	KindMax
+	// KindDiff is the range MAX - MIN of a column.
+	KindDiff
+	// KindArgMax looks up the entity attaining the maximum of a column
+	// (textual claim value).
+	KindArgMax
+	// KindArgMin looks up the entity attaining the minimum of a column.
+	KindArgMin
+	// KindPercent is the share of rows matching a filter, in percent.
+	KindPercent
+	// KindMode is the most frequent value of a categorical column
+	// (requires GROUP BY; textual claim value).
+	KindMode
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	names := [...]string{"Lookup", "CountAll", "Count", "Sum", "Avg", "Min", "Max", "Diff", "ArgMax", "ArgMin", "Percent", "Mode"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Difficulty returns a rough translation-difficulty score in [0,1] per kind.
+func (k Kind) Difficulty() float64 {
+	switch k {
+	case KindLookup, KindCountAll:
+		return 0.15
+	case KindCount, KindSum, KindAvg:
+		return 0.3
+	case KindMin, KindMax:
+		return 0.35
+	case KindDiff:
+		return 0.55
+	case KindArgMax, KindArgMin:
+		return 0.6
+	case KindPercent:
+		return 0.7
+	case KindMode:
+		return 0.65
+	default:
+		return 0.5
+	}
+}
+
+// Spec is the semantic core of a claim: which relation of the data the
+// claimed value denotes. A Spec plus a schema determines a SQL query; a Spec
+// plus a lexicon determines an English sentence.
+type Spec struct {
+	Kind Kind
+	// Column is the measure column (empty for Count/CountAll/Percent).
+	Column string
+	// EntityCol is the entity-identifying text column (Lookup, ArgMax,
+	// ArgMin, and as COUNT target for Percent).
+	EntityCol string
+	// EntityVal is the entity constant for Lookup, as it should appear in
+	// the SQL query (the sentence may use an alias).
+	EntityVal string
+	// FilterCol/FilterVal form an equality predicate (Count, Percent, and
+	// optionally Sum/Avg/Min/Max).
+	FilterCol string
+	FilterVal string
+	// FilterIsText marks whether FilterVal must be quoted in SQL.
+	FilterIsText bool
+	// ConvFactor multiplies the query result for unit conversion; 0 and 1
+	// both mean "no conversion".
+	ConvFactor float64
+	// Noun is the plural table noun used in sentences ("airlines"); it
+	// guides table resolution during parsing.
+	Noun string
+}
+
+// ErrNoColumn indicates the spec references a column absent from the schema.
+var ErrNoColumn = errors.New("nl: column not in schema")
+
+// ErrNoJoinPath indicates the referenced columns live in tables that cannot
+// be connected by shared key columns.
+var ErrNoJoinPath = errors.New("nl: no join path between tables")
+
+// converted wraps a SQL expression with the spec's unit-conversion factor.
+func (s *Spec) converted(expr string) string {
+	if s.ConvFactor == 0 || s.ConvFactor == 1 {
+		return expr
+	}
+	return fmt.Sprintf("%s * %s", expr, textutil.FormatNumber(s.ConvFactor))
+}
+
+// BuildSQL renders the spec into a SQL query against the given schema,
+// inserting joins when the referenced columns span multiple tables. This is
+// the query-construction knowledge shared by the gold-label generator and
+// the simulated models; what differs between them is which Spec they hold.
+func BuildSQL(schema *Schema, s *Spec) (string, error) {
+	switch s.Kind {
+	case KindLookup:
+		from, err := joinFor(schema, s.Column, s.EntityCol)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf(`SELECT %s FROM %s WHERE %s = %s`,
+			s.converted(q(s.Column)), from, q(s.EntityCol), quoteText(s.EntityVal)), nil
+	case KindCountAll:
+		if s.EntityCol == "" {
+			return "", fmt.Errorf("%w: CountAll needs an entity column", ErrNoColumn)
+		}
+		from, err := joinFor(schema, s.EntityCol)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf(`SELECT COUNT(%s) FROM %s`, q(s.EntityCol), from), nil
+	case KindCount:
+		from, err := joinFor(schema, s.FilterCol)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf(`SELECT COUNT(*) FROM %s WHERE %s = %s`,
+			from, q(s.FilterCol), s.filterLiteral()), nil
+	case KindSum, KindAvg, KindMin, KindMax:
+		agg := map[Kind]string{KindSum: "SUM", KindAvg: "AVG", KindMin: "MIN", KindMax: "MAX"}[s.Kind]
+		cols := []string{s.Column}
+		if s.FilterCol != "" {
+			cols = append(cols, s.FilterCol)
+		}
+		from, err := joinFor(schema, cols...)
+		if err != nil {
+			return "", err
+		}
+		where := ""
+		if s.FilterCol != "" {
+			where = fmt.Sprintf(" WHERE %s = %s", q(s.FilterCol), s.filterLiteral())
+		}
+		return fmt.Sprintf(`SELECT %s FROM %s%s`,
+			s.converted(fmt.Sprintf("%s(%s)", agg, q(s.Column))), from, where), nil
+	case KindDiff:
+		from, err := joinFor(schema, s.Column)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf(`SELECT %s FROM %s`,
+			s.converted(fmt.Sprintf("MAX(%s) - MIN(%s)", q(s.Column), q(s.Column))), from), nil
+	case KindArgMax, KindArgMin:
+		agg := "MAX"
+		if s.Kind == KindArgMin {
+			agg = "MIN"
+		}
+		from, err := joinFor(schema, s.Column, s.EntityCol)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf(`SELECT %s FROM %s WHERE %s = (SELECT %s(%s) FROM %s)`,
+			q(s.EntityCol), from, q(s.Column), agg, q(s.Column), from), nil
+	case KindMode:
+		from, err := joinFor(schema, s.Column)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf(`SELECT %s FROM %s GROUP BY %s ORDER BY COUNT(*) DESC LIMIT 1`,
+			q(s.Column), from, q(s.Column)), nil
+	case KindPercent:
+		cols := []string{s.FilterCol}
+		if s.EntityCol != "" {
+			cols = append(cols, s.EntityCol)
+		}
+		from, err := joinFor(schema, cols...)
+		if err != nil {
+			return "", err
+		}
+		target := "*"
+		if s.EntityCol != "" {
+			target = q(s.EntityCol)
+		}
+		return fmt.Sprintf(`SELECT (SELECT COUNT(%s) FROM %s WHERE %s = %s) * 100.0 / (SELECT COUNT(%s) FROM %s)`,
+			target, from, q(s.FilterCol), s.filterLiteral(), target, from), nil
+	}
+	return "", fmt.Errorf("nl: unknown spec kind %v", s.Kind)
+}
+
+func (s *Spec) filterLiteral() string {
+	if s.FilterIsText {
+		return quoteText(s.FilterVal)
+	}
+	return s.FilterVal
+}
+
+func q(name string) string { return `"` + name + `"` }
+
+func quoteText(v string) string {
+	return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+}
+
+// FromClause builds the FROM/JOIN clause (without the FROM keyword) that
+// covers all the given columns in the schema, joining tables through shared
+// key columns when necessary. It is the exported form of the join
+// construction used by BuildSQL, needed by callers that rewrite existing
+// queries against a normalized schema.
+func FromClause(schema *Schema, cols []string) (string, error) {
+	return joinFor(schema, cols...)
+}
+
+// joinFor determines the FROM clause covering all the given columns: a
+// single table when one table has them all, otherwise a join chain over
+// tables connected by shared key columns (columns named *_id or id).
+func joinFor(schema *Schema, cols ...string) (string, error) {
+	var needed []string
+	for _, c := range cols {
+		if c != "" {
+			needed = append(needed, c)
+		}
+	}
+	if len(needed) == 0 {
+		return "", fmt.Errorf("%w: no columns to locate", ErrNoColumn)
+	}
+	// Single-table fast path.
+	for _, t := range schema.Tables {
+		all := true
+		for _, c := range needed {
+			if !t.HasColumn(c) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return q(t.Name), nil
+		}
+	}
+	// Multi-table: pick one table per column, then connect them.
+	home := make(map[string]string) // column -> table
+	for _, c := range needed {
+		tabs := schema.TablesWithColumn(c)
+		if len(tabs) == 0 {
+			return "", fmt.Errorf("%w: %q", ErrNoColumn, c)
+		}
+		home[c] = tabs[0]
+	}
+	tableSet := map[string]bool{}
+	var tables []string
+	for _, c := range needed {
+		if !tableSet[home[c]] {
+			tableSet[home[c]] = true
+			tables = append(tables, home[c])
+		}
+	}
+	if len(tables) == 1 {
+		return q(tables[0]), nil
+	}
+	return joinChain(schema, tables)
+}
+
+// joinChain builds a FROM clause connecting the given tables through shared
+// key columns, inserting intermediate tables when needed (BFS over the
+// key-sharing graph).
+func joinChain(schema *Schema, targets []string) (string, error) {
+	covered := map[string]bool{strings.ToLower(targets[0]): true}
+	from := q(targets[0])
+	for _, target := range targets[1:] {
+		if covered[strings.ToLower(target)] {
+			continue
+		}
+		path, err := shortestPath(schema, covered, target)
+		if err != nil {
+			return "", err
+		}
+		for _, hop := range path {
+			from += fmt.Sprintf(" JOIN %s ON %s.%s = %s.%s",
+				q(hop.to), q(hop.from), q(hop.key), q(hop.to), q(hop.key))
+			covered[strings.ToLower(hop.to)] = true
+		}
+	}
+	return from, nil
+}
+
+type joinHop struct {
+	from, to, key string
+}
+
+// shortestPath finds a key-join path from any covered table to target.
+func shortestPath(schema *Schema, covered map[string]bool, target string) ([]joinHop, error) {
+	type node struct {
+		table string
+		path  []joinHop
+	}
+	var queue []node
+	visited := map[string]bool{}
+	for t := range covered {
+		queue = append(queue, node{table: t})
+		visited[t] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		curTab := schema.Table(cur.table)
+		if curTab == nil {
+			continue
+		}
+		for _, other := range schema.Tables {
+			lo := strings.ToLower(other.Name)
+			if visited[lo] {
+				continue
+			}
+			key := sharedKey(curTab, &other)
+			if key == "" {
+				continue
+			}
+			path := append(append([]joinHop{}, cur.path...), joinHop{from: curTab.Name, to: other.Name, key: key})
+			if strings.EqualFold(other.Name, target) {
+				return path, nil
+			}
+			visited[lo] = true
+			queue = append(queue, node{table: lo, path: path})
+		}
+	}
+	return nil, fmt.Errorf("%w: cannot reach %q", ErrNoJoinPath, target)
+}
+
+// sharedKey returns a column name shared by both tables that looks like a
+// join key (id or *_id), or "" when none exists.
+func sharedKey(a, b *SchemaTable) string {
+	for _, c := range a.Columns {
+		lower := strings.ToLower(c.Name)
+		if lower != "id" && !strings.HasSuffix(lower, "_id") {
+			continue
+		}
+		if b.HasColumn(c.Name) {
+			return c.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,145 @@
+// Package prompts holds the prompt templates of CEDAR's verification
+// methods: the one-shot claim-to-SQL template of Figure 3 and the
+// ReAct agent template of Section 5.3. The templates live in their own
+// package because both the verification pipeline (which fills them) and the
+// simulated models (which read them, the way a real LLM reads the prompt)
+// need the same markers.
+package prompts
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markers used to delimit prompt sections. Extraction in the simulated
+// models keys on these exact strings.
+const (
+	ClaimOpen    = `Given the claim "`
+	ClaimClose   = `" where "x" is a "`
+	TypeClose    = `" value`
+	SchemaIntro  = "You must use the schema of the following tables:"
+	SampleIntro  = "For example, given the claim"
+	ContextIntro = "The following context information might help to form the SQL query."
+	SQLFence     = "```sql"
+
+	// AgentMarker distinguishes agent prompts from one-shot prompts.
+	AgentMarker = "You have access to the following tools:"
+	// ToolUniqueValues lets the agent list distinct values of a column.
+	ToolUniqueValues = "unique_column_values"
+	// ToolQuery lets the agent run a SQL query and receive comparative
+	// feedback against the claim value.
+	ToolQuery = "database_querying"
+)
+
+// OneShot renders the one-shot claim-to-SQL prompt of Figure 3.
+// maskedClaim is the claim sentence with the value obfuscated as "x";
+// valueType is "numeric" or empty; schemaSQL is the CREATE TABLE rendering
+// of the database; sample is a previously solved claim/query pair (empty
+// when none is available); context is the masked claim paragraph.
+func OneShot(maskedClaim, valueType, schemaSQL, sample, context string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s%s%s%s, you must think about a question that generates \"x\" as the answer and then generate a SQL query to answer that question.\n",
+		ClaimOpen, maskedClaim, ClaimClose, valueType, TypeClose)
+	b.WriteString(SchemaIntro + "\n")
+	b.WriteString(schemaSQL)
+	b.WriteString("To query for percentages use the format \"SELECT (SELECT COUNT(column_name) FROM table WHERE equality_predicates) * 100.0 / (SELECT COUNT(column_name) FROM table WHERE equality_predicates)\". Other queries are of format \"SELECT aggregate_function(column_name) FROM table WHERE equality_predicates\".\n")
+	b.WriteString("Wrap the SQL in " + SQLFence + " ```.\n")
+	if sample != "" {
+		b.WriteString(sample + "\n")
+	}
+	b.WriteString(ContextIntro + "\n")
+	b.WriteString(context + "\n")
+	return b.String()
+}
+
+// Sample renders the few-shot sample block included in prompts once a claim
+// has been verified successfully (the {sample} placeholder of Figure 3).
+func Sample(maskedClaim, query string) string {
+	return fmt.Sprintf("%s \"%s\", to find the value for \"x\", generated SQL query would be \"%s\".",
+		SampleIntro, maskedClaim, query)
+}
+
+// Agent renders the base prompt of the ReAct agent: the one-shot task
+// description extended with tool descriptions and the thought/action
+// protocol instructions (the LangChain-style ReAct template).
+func Agent(maskedClaim, valueType, schemaSQL, sample, context string) string {
+	var b strings.Builder
+	b.WriteString(OneShot(maskedClaim, valueType, schemaSQL, sample, context))
+	b.WriteString("\n" + AgentMarker + "\n")
+	fmt.Fprintf(&b, "- %s: given a column name, returns the distinct values stored in that column.\n", ToolUniqueValues)
+	fmt.Fprintf(&b, "- %s: given a SQL query, executes it on the data and returns the result together with feedback comparing it to the claimed value.\n", ToolQuery)
+	b.WriteString(`Use the following format:
+Thought: reason about what to do next
+Action: the tool to use
+Action Input: the input to the tool
+Observation: the result of the action
+... (Thought/Action/Action Input/Observation can repeat)
+Thought: I now know the final answer.
+Final Answer: the value of "x"
+`)
+	return b.String()
+}
+
+// ExtractSection returns the text between the first occurrence of open and
+// the following occurrence of close. ok is false when either marker is
+// missing.
+func ExtractSection(text, open, close string) (string, bool) {
+	_, rest, found := strings.Cut(text, open)
+	if !found {
+		return "", false
+	}
+	inner, _, found := strings.Cut(rest, close)
+	if !found {
+		return "", false
+	}
+	return inner, true
+}
+
+// ExtractClaim pulls the masked claim and value type out of a prompt.
+func ExtractClaim(prompt string) (masked, valueType string, ok bool) {
+	masked, ok = ExtractSection(prompt, ClaimOpen, ClaimClose)
+	if !ok {
+		return "", "", false
+	}
+	valueType, ok = ExtractSection(prompt, ClaimClose, TypeClose)
+	if !ok {
+		return masked, "", true
+	}
+	return masked, valueType, true
+}
+
+// ExtractContext pulls the context paragraph out of a prompt (everything
+// after the context marker up to the next blank line or end).
+func ExtractContext(prompt string) string {
+	_, rest, found := strings.Cut(prompt, ContextIntro)
+	if !found {
+		return ""
+	}
+	rest = strings.TrimLeft(rest, "\n")
+	if idx := strings.Index(rest, "\n\n"); idx >= 0 {
+		rest = rest[:idx]
+	}
+	return strings.TrimSpace(rest)
+}
+
+// HasSample reports whether the prompt contains a few-shot sample.
+func HasSample(prompt string) bool { return strings.Contains(prompt, SampleIntro) }
+
+// ExtractSQL pulls the first fenced SQL block out of a model response. It
+// tolerates a bare ``` fence and, failing that, a line starting with SELECT,
+// the way CEDAR's post-processing extracts queries from chatty responses.
+func ExtractSQL(response string) (string, bool) {
+	if inner, ok := ExtractSection(response, SQLFence, "```"); ok {
+		q := strings.TrimSpace(inner)
+		if q != "" {
+			return q, true
+		}
+	}
+	for _, line := range strings.Split(response, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(strings.ToUpper(trimmed), "SELECT") {
+			return trimmed, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,194 @@
+// Package report renders verification results as a self-contained HTML
+// page, the artifact of the SIGMOD demonstration: documents with their
+// claims marked up like a spell-checker for numbers — green for verified
+// correct, red for flagged, grey for unverifiable — each with the SQL query
+// used for verification, the method that produced it, and the run's cost
+// summary.
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"html/template"
+	"strings"
+	"time"
+
+	"repro/internal/claim"
+)
+
+// Summary carries the run-level figures shown in the report header.
+type Summary struct {
+	Title    string
+	Schedule string
+	Dollars  float64
+	Calls    int
+	// GeneratedAt stamps the report; the caller provides it so rendering
+	// stays deterministic in tests.
+	GeneratedAt time.Time
+}
+
+type claimView struct {
+	ID       string
+	Sentence string
+	Value    string
+	Verdict  string // "correct", "incorrect", "unverified"
+	Label    string
+	Query    string
+	Method   string
+	Attempts int
+	Trace    string
+}
+
+type docView struct {
+	ID      string
+	Title   string
+	Domain  string
+	Claims  []claimView
+	Flagged int
+	// Article is the document body with claim sentences highlighted
+	// in their verdict color, the spell-checker view of the demo.
+	Article []template.HTML
+}
+
+type pageView struct {
+	Summary Summary
+	Claims  int
+	Flagged int
+	Docs    []docView
+}
+
+var page = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Summary.Title}}</title>
+<style>
+body { font-family: Georgia, serif; max-width: 60rem; margin: 2rem auto; color: #1a1a1a; }
+h1 { font-size: 1.6rem; } h2 { font-size: 1.2rem; margin-top: 2rem; }
+.meta { color: #555; font-size: 0.9rem; }
+.claim { margin: 0.8rem 0; padding: 0.6rem 0.9rem; border-left: 4px solid #ccc; background: #fafafa; }
+.claim.correct { border-color: #2e7d32; }
+.claim.incorrect { border-color: #c62828; background: #fff5f5; }
+.claim.unverified { border-color: #9e9e9e; }
+.verdict { font-weight: bold; font-size: 0.8rem; letter-spacing: 0.05em; text-transform: uppercase; }
+.claim.correct .verdict { color: #2e7d32; }
+.claim.incorrect .verdict { color: #c62828; }
+.claim.unverified .verdict { color: #757575; }
+.query { font-family: ui-monospace, monospace; font-size: 0.85rem; color: #333; background: #f0f0f0; padding: 0.3rem 0.5rem; display: block; margin-top: 0.4rem; overflow-x: auto; }
+.method { color: #555; font-size: 0.8rem; }
+.article p { line-height: 1.55; }
+mark.correct { background: #e3f2e4; }
+mark.incorrect { background: #ffd6d6; text-decoration: underline wavy #c62828; }
+mark.unverified { background: #ececec; }
+</style>
+</head>
+<body>
+<h1>{{.Summary.Title}}</h1>
+<p class="meta">
+{{.Claims}} claims, {{.Flagged}} flagged incorrect ·
+schedule: {{.Summary.Schedule}} ·
+simulated fee ${{printf "%.4f" .Summary.Dollars}} over {{.Summary.Calls}} model calls ·
+generated {{.Summary.GeneratedAt.Format "2006-01-02 15:04"}}
+</p>
+{{range .Docs}}
+<h2>{{.ID}}{{if .Title}} — {{.Title}}{{end}}</h2>
+<p class="meta">{{.Domain}}{{if .Flagged}} · {{.Flagged}} claim(s) need attention{{end}}</p>
+<div class="article">{{range .Article}}<p>{{.}}</p>{{end}}</div>
+{{range .Claims}}
+<div class="claim {{.Verdict}}">
+<span class="verdict">{{.Label}}</span> — {{.Sentence}}
+{{if .Query}}<code class="query">{{.Query}}</code>{{end}}
+{{if .Method}}<span class="method">via {{.Method}} ({{.Attempts}} attempt(s))</span>{{end}}
+{{if .Trace}}<details><summary class="method">verification trace</summary><pre class="query">{{.Trace}}</pre></details>{{end}}
+</div>
+{{end}}
+{{end}}
+</body>
+</html>
+`))
+
+// articleHTML renders the document body with each claim sentence wrapped in
+// a verdict-colored highlight. Text is HTML-escaped first; the escaped
+// claim sentences are then wrapped, so untrusted document text can never
+// inject markup.
+func articleHTML(d *claim.Document) []template.HTML {
+	verdictOf := func(c *claim.Claim) string {
+		switch {
+		case !c.Result.Correct:
+			return "incorrect"
+		case c.Result.Verified:
+			return "correct"
+		default:
+			return "unverified"
+		}
+	}
+	seen := make(map[string]bool)
+	var out []template.HTML
+	for _, c := range d.Claims {
+		para := c.Context
+		if para == "" {
+			para = c.Sentence
+		}
+		if seen[para] {
+			continue
+		}
+		seen[para] = true
+		escaped := template.HTMLEscapeString(para)
+		// Highlight every claim whose sentence occurs in this paragraph.
+		for _, cc := range d.Claims {
+			escSentence := template.HTMLEscapeString(cc.Sentence)
+			if escSentence == "" || !strings.Contains(escaped, escSentence) {
+				continue
+			}
+			marked := `<mark class="` + verdictOf(cc) + `" title="` +
+				template.HTMLEscapeString(cc.ID) + `">` + escSentence + `</mark>`
+			escaped = strings.Replace(escaped, escSentence, marked, 1)
+		}
+		out = append(out, template.HTML(escaped)) //nolint:gosec // escaped above
+	}
+	return out
+}
+
+// Render produces the HTML report for annotated documents.
+func Render(docs []*claim.Document, s Summary) ([]byte, error) {
+	if s.Title == "" {
+		s.Title = "CEDAR verification report"
+	}
+	view := pageView{Summary: s}
+	for _, d := range docs {
+		dv := docView{ID: d.ID, Title: d.Title, Domain: d.Domain}
+		for _, c := range d.Claims {
+			cv := claimView{
+				ID:       c.ID,
+				Sentence: c.Sentence,
+				Value:    c.Value,
+				Query:    c.Result.Query,
+				Method:   c.Result.Method,
+				Attempts: c.Result.Attempts,
+				Trace:    c.Result.Trace,
+			}
+			switch {
+			case !c.Result.Correct:
+				cv.Verdict = "incorrect"
+				cv.Label = "incorrect"
+				dv.Flagged++
+				view.Flagged++
+			case c.Result.Verified:
+				cv.Verdict = "correct"
+				cv.Label = "verified correct"
+			default:
+				cv.Verdict = "unverified"
+				cv.Label = "unverifiable (assumed correct)"
+			}
+			dv.Claims = append(dv.Claims, cv)
+			view.Claims++
+		}
+		dv.Article = articleHTML(d)
+		view.Docs = append(view.Docs, dv)
+	}
+	var buf bytes.Buffer
+	if err := page.Execute(&buf, view); err != nil {
+		return nil, fmt.Errorf("report: render: %w", err)
+	}
+	return buf.Bytes(), nil
+}

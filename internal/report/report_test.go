@@ -1,0 +1,119 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/claim"
+)
+
+func fixtureDocs() []*claim.Document {
+	return []*claim.Document{{
+		ID:     "doc-1",
+		Title:  "Airline safety",
+		Domain: "538",
+		Claims: []*claim.Claim{
+			{
+				ID:       "c1",
+				Sentence: "Malaysia Airlines recorded 2 fatal accidents.",
+				Value:    "2",
+				Result: claim.Result{
+					Verified: true, Correct: true,
+					Query:  `SELECT "fatal_accidents_00_14" FROM "airlines" WHERE "airline" = 'Malaysia Airlines'`,
+					Method: "oneshot-gpt3.5", Attempts: 1,
+				},
+			},
+			{
+				ID:       "c2",
+				Sentence: "The highest fatalities recorded was 999.",
+				Value:    "999",
+				Result: claim.Result{
+					Verified: true, Correct: false,
+					Query:  `SELECT MAX("fatalities_00_14") FROM "airlines"`,
+					Method: "oneshot-gpt3.5", Attempts: 1,
+				},
+			},
+			{
+				ID:       "c3",
+				Sentence: "Something unverifiable happened 7 times.",
+				Value:    "7",
+				Result:   claim.Result{Verified: false, Correct: true, Method: "unverified"},
+			},
+		},
+	}}
+}
+
+func TestRender(t *testing.T) {
+	out, err := Render(fixtureDocs(), Summary{
+		Schedule:    "oneshot-gpt3.5 x2",
+		Dollars:     0.0123,
+		Calls:       7,
+		GeneratedAt: time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(out)
+	for _, want := range []string{
+		"CEDAR verification report",
+		"3 claims, 1 flagged incorrect",
+		"oneshot-gpt3.5 x2",
+		"$0.0123",
+		"doc-1 — Airline safety",
+		"verified correct",
+		`class="claim incorrect"`,
+		"unverifiable (assumed correct)",
+		"SELECT MAX(&#34;fatalities_00_14&#34;)",
+		"2026-07-04",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Claim text must be HTML-escaped.
+	docs := fixtureDocs()
+	docs[0].Claims[0].Sentence = `<script>alert("xss")</script> recorded 2 things.`
+	out, err = Render(docs, Summary{GeneratedAt: time.Unix(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "<script>alert") {
+		t.Error("claim text not escaped")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out, err := Render(nil, Summary{GeneratedAt: time.Unix(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "0 claims, 0 flagged") {
+		t.Errorf("empty report: %s", out)
+	}
+}
+
+func TestArticleHighlighting(t *testing.T) {
+	docs := fixtureDocs()
+	for _, c := range docs[0].Claims {
+		c.Context = "Lead-in text. " + c.Sentence + " Trailing text."
+	}
+	out, err := Render(docs, Summary{GeneratedAt: time.Unix(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(out)
+	if !strings.Contains(html, `<mark class="correct"`) {
+		t.Error("correct claim not highlighted in article")
+	}
+	if !strings.Contains(html, `<mark class="incorrect"`) {
+		t.Error("incorrect claim not highlighted in article")
+	}
+	if !strings.Contains(html, "Lead-in text.") {
+		t.Error("article paragraphs missing")
+	}
+	// A marked sentence must not double-escape or lose its text.
+	if !strings.Contains(html, "Malaysia Airlines recorded 2 fatal accidents.</mark>") {
+		t.Errorf("highlighted sentence malformed")
+	}
+}

@@ -1,0 +1,101 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestTheorem64ConsecutiveRetriesSuffice validates the paper's Theorem 6.4
+// empirically: restricting the search space to consecutive retries of the
+// same method (what the DP explores) never loses against arbitrary
+// interleavings. For random 2-method instances we enumerate every sequence
+// of up to 4 tries (with interleaving allowed) and check that for each
+// interleaved sequence there is a consecutive schedule with at least its
+// accuracy and at most its cost.
+func TestTheorem64ConsecutiveRetriesSuffice(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 200; trial++ {
+		methods := []MethodStats{
+			{Name: "A", Cost: 0.001 + rng.Float64(), Accuracy: 0.05 + 0.9*rng.Float64()},
+			{Name: "B", Cost: 0.001 + rng.Float64(), Accuracy: 0.05 + 0.9*rng.Float64()},
+		}
+		// All sequences over {A, B} of length up to 4.
+		var sequences [][]MethodStats
+		var build func(cur []MethodStats)
+		build = func(cur []MethodStats) {
+			if len(cur) > 0 {
+				sequences = append(sequences, append([]MethodStats{}, cur...))
+			}
+			if len(cur) == 4 {
+				return
+			}
+			for _, m := range methods {
+				build(append(cur, m))
+			}
+		}
+		build(nil)
+
+		// Consecutive schedules: A^i B^j and B^j A^i for i,j in 0..4.
+		type point struct{ cost, acc float64 }
+		var consecutive []point
+		for i := 0; i <= 4; i++ {
+			for j := 0; j <= 4; j++ {
+				s1 := Schedule{}
+				s1 = s1.append(methods[0], i)
+				s1 = s1.append(methods[1], j)
+				consecutive = append(consecutive, point{s1.Cost, s1.Accuracy})
+				s2 := Schedule{}
+				s2 = s2.append(methods[1], j)
+				s2 = s2.append(methods[0], i)
+				consecutive = append(consecutive, point{s2.Cost, s2.Accuracy})
+			}
+		}
+
+		for _, seq := range sequences {
+			cost, acc := Cost(seq), Accuracy(seq)
+			dominated := false
+			for _, p := range consecutive {
+				if p.cost <= cost+1e-12 && p.acc >= acc-1e-12 {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Fatalf("trial %d: interleaved sequence beats all consecutive schedules (cost=%v acc=%v, methods=%+v)",
+					trial, cost, acc, methods)
+			}
+		}
+	}
+}
+
+// TestTheorem61ExpectedCostSimulation validates the cost model of Theorem
+// 6.1 against Monte-Carlo simulation of the multi-stage process.
+func TestTheorem61ExpectedCostSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	seq := []MethodStats{
+		{Cost: 1, Accuracy: 0.5},
+		{Cost: 3, Accuracy: 0.7},
+		{Cost: 10, Accuracy: 0.9},
+	}
+	const n = 200000
+	total := 0.0
+	successes := 0
+	for i := 0; i < n; i++ {
+		for _, m := range seq {
+			total += m.Cost
+			if rng.Float64() < m.Accuracy {
+				successes++
+				break
+			}
+		}
+	}
+	simCost := total / n
+	simAcc := float64(successes) / n
+	if math.Abs(simCost-Cost(seq)) > 0.05 {
+		t.Errorf("simulated cost %v vs model %v", simCost, Cost(seq))
+	}
+	if math.Abs(simAcc-Accuracy(seq)) > 0.01 {
+		t.Errorf("simulated accuracy %v vs model %v", simAcc, Accuracy(seq))
+	}
+}

@@ -1,0 +1,126 @@
+package sqldb
+
+// Complexity summarizes the structural complexity of one SQL query along the
+// dimensions reported in Table 3 of the paper: number of joins, GROUP BY
+// clauses, subqueries, aggregate function calls, and distinct referenced
+// columns.
+type Complexity struct {
+	Joins      int
+	GroupBys   int
+	Subqueries int
+	Aggregates int
+	Columns    int
+}
+
+// Analyze parses sql and computes its Complexity.
+func Analyze(sql string) (Complexity, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return Complexity{}, err
+	}
+	return AnalyzeStmt(stmt), nil
+}
+
+// AnalyzeStmt computes the Complexity of a parsed statement, including the
+// contributions of nested subqueries.
+func AnalyzeStmt(stmt *SelectStmt) Complexity {
+	a := &analyzer{cols: make(map[string]bool)}
+	a.stmt(stmt, false)
+	a.c.Columns = len(a.cols)
+	return a.c
+}
+
+type analyzer struct {
+	c    Complexity
+	cols map[string]bool
+}
+
+func (a *analyzer) stmt(s *SelectStmt, nested bool) {
+	if nested {
+		a.c.Subqueries++
+	}
+	a.c.Joins += len(s.Joins)
+	if len(s.GroupBy) > 0 {
+		a.c.GroupBys++
+	}
+	for _, it := range s.Items {
+		a.expr(it.Expr)
+	}
+	for _, j := range s.Joins {
+		if j.On != nil {
+			a.expr(j.On)
+		}
+	}
+	if s.Where != nil {
+		a.expr(s.Where)
+	}
+	for _, g := range s.GroupBy {
+		a.expr(g)
+	}
+	if s.Having != nil {
+		a.expr(s.Having)
+	}
+	for _, o := range s.OrderBy {
+		a.expr(o.Expr)
+	}
+}
+
+func (a *analyzer) expr(e Expr) {
+	switch v := e.(type) {
+	case *ColumnExpr:
+		a.cols[normalizeCol(v.Name)] = true
+	case *UnaryExpr:
+		a.expr(v.Expr)
+	case *BinaryExpr:
+		a.expr(v.Left)
+		a.expr(v.Right)
+	case *BetweenExpr:
+		a.expr(v.Expr)
+		a.expr(v.Lo)
+		a.expr(v.Hi)
+	case *InExpr:
+		a.expr(v.Expr)
+		for _, it := range v.List {
+			a.expr(it)
+		}
+		if v.Sub != nil {
+			a.stmt(v.Sub, true)
+		}
+	case *IsNullExpr:
+		a.expr(v.Expr)
+	case *FuncExpr:
+		if v.IsAggregate() {
+			a.c.Aggregates++
+		}
+		for _, arg := range v.Args {
+			a.expr(arg)
+		}
+	case *CastExpr:
+		a.expr(v.Expr)
+	case *CaseExpr:
+		for _, w := range v.Whens {
+			a.expr(w.Cond)
+			a.expr(w.Then)
+		}
+		if v.Else != nil {
+			a.expr(v.Else)
+		}
+	case *SubqueryExpr:
+		a.stmt(v.Stmt, true)
+	case *ExistsExpr:
+		a.stmt(v.Stmt, true)
+	}
+}
+
+func normalizeCol(name string) string {
+	// Case-insensitive distinct-column counting.
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}

@@ -1,0 +1,256 @@
+package sqldb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type Kind
+}
+
+// Table is an in-memory relation: an ordered column list plus row storage.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    [][]Value
+}
+
+// NewTable constructs an empty table with the given column names. Column
+// types start as NULL and are refined as rows are appended.
+func NewTable(name string, cols ...string) *Table {
+	t := &Table{Name: name}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, Column{Name: c, Type: KindNull})
+	}
+	return t
+}
+
+// AppendRow adds a row, refining column types from the appended values. The
+// row length must match the column count.
+func (t *Table) AppendRow(vals ...Value) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("table %s: row has %d values, want %d", t.Name, len(vals), len(t.Columns))
+	}
+	for i, v := range vals {
+		t.Columns[i].Type = mergeKind(t.Columns[i].Type, v.Kind())
+	}
+	t.Rows = append(t.Rows, vals)
+	return nil
+}
+
+// MustAppendRow is AppendRow but panics on arity mismatch; intended for
+// static table construction in corpora and tests.
+func (t *Table) MustAppendRow(vals ...Value) {
+	if err := t.AppendRow(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// ColumnIndex returns the position of the named column (case-insensitive),
+// or -1 when absent.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames returns the ordered column names.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// UniqueValues returns the distinct non-NULL values of the named column in
+// first-appearance order. This backs the agent's unique_column_values tool.
+func (t *Table) UniqueValues(column string) ([]Value, error) {
+	idx := t.ColumnIndex(column)
+	if idx < 0 {
+		return nil, fmt.Errorf("%w: column %q in table %q", ErrUnknownColumn, column, t.Name)
+	}
+	seen := make(map[string]bool)
+	var out []Value
+	for _, row := range t.Rows {
+		v := row[idx]
+		if v.IsNull() {
+			continue
+		}
+		k := v.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// mergeKind widens a column type to accommodate a newly observed value kind.
+func mergeKind(cur, next Kind) Kind {
+	if next == KindNull {
+		return cur
+	}
+	if cur == KindNull || cur == next {
+		return next
+	}
+	if (cur == KindInt && next == KindFloat) || (cur == KindFloat && next == KindInt) {
+		return KindFloat
+	}
+	return KindText
+}
+
+// Database is a named collection of tables.
+type Database struct {
+	Name   string
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase constructs an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{Name: name, tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table, replacing any previous table with the same
+// (case-insensitive) name.
+func (d *Database) AddTable(t *Table) {
+	key := strings.ToLower(t.Name)
+	if _, exists := d.tables[key]; !exists {
+		d.order = append(d.order, key)
+	}
+	d.tables[key] = t
+}
+
+// Table returns the named table (case-insensitive), or nil when absent.
+func (d *Database) Table(name string) *Table {
+	return d.tables[strings.ToLower(name)]
+}
+
+// Tables returns all tables in registration order.
+func (d *Database) Tables() []*Table {
+	out := make([]*Table, 0, len(d.order))
+	for _, k := range d.order {
+		out = append(out, d.tables[k])
+	}
+	return out
+}
+
+// TableNames returns the registered table names in registration order.
+func (d *Database) TableNames() []string {
+	out := make([]string, 0, len(d.order))
+	for _, k := range d.order {
+		out = append(out, d.tables[k].Name)
+	}
+	return out
+}
+
+// Schema renders a compact CREATE TABLE description of every table, used to
+// fill the {db_schema} placeholder of the verification prompt templates.
+func (d *Database) Schema() string {
+	var b strings.Builder
+	for _, t := range d.Tables() {
+		fmt.Fprintf(&b, "CREATE TABLE \"%s\" (", t.Name)
+		for i, c := range t.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "\"%s\" %s", c.Name, c.Type)
+		}
+		b.WriteString(");\n")
+	}
+	return b.String()
+}
+
+// SampleRows renders up to n example rows per table in a pipe-separated
+// layout. Prompt templates like P1 ("Create Table + Select 3") include such
+// samples to ground the model in actual data values.
+func (d *Database) SampleRows(n int) string {
+	var b strings.Builder
+	for _, t := range d.Tables() {
+		fmt.Fprintf(&b, "-- %s\n", t.Name)
+		b.WriteString(strings.Join(t.ColumnNames(), " | "))
+		b.WriteByte('\n')
+		for i, row := range t.Rows {
+			if i >= n {
+				break
+			}
+			cells := make([]string, len(row))
+			for j, v := range row {
+				cells[j] = v.String()
+			}
+			b.WriteString(strings.Join(cells, " | "))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TotalRows returns the number of rows across all tables, a size signal used
+// by the TAPEX-style baseline whose flattening degrades with table size.
+func (d *Database) TotalRows() int {
+	n := 0
+	for _, t := range d.Tables() {
+		n += len(t.Rows)
+	}
+	return n
+}
+
+// AllColumnNames returns the sorted union of column names across tables.
+func (d *Database) AllColumnNames() []string {
+	set := make(map[string]bool)
+	for _, t := range d.Tables() {
+		for _, c := range t.Columns {
+			set[c.Name] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadCSV reads a table from CSV data: the first record provides column
+// names, subsequent records become rows with literal type inference.
+func LoadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("load csv %s: header: %w", name, err)
+	}
+	t := NewTable(name, header...)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("load csv %s: %w", name, err)
+		}
+		row := make([]Value, len(t.Columns))
+		for i := range row {
+			if i < len(rec) {
+				row[i] = inferLiteral(rec[i])
+			} else {
+				row[i] = Null()
+			}
+		}
+		t.Rows = append(t.Rows, row)
+		for i, v := range row {
+			t.Columns[i].Type = mergeKind(t.Columns[i].Type, v.Kind())
+		}
+	}
+	return t, nil
+}

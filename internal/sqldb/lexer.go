@@ -1,0 +1,205 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokQuotedIdent
+	tokString
+	tokNumber
+	tokOp      // operators and punctuation: ( ) , . + - * / % = < > <= >= <> !=
+	tokKeyword // recognized SQL keyword (uppercased in val)
+)
+
+type token struct {
+	kind tokenKind
+	val  string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "LIKE": true,
+	"BETWEEN": true, "IS": true, "NULL": true, "DISTINCT": true, "ALL": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"CROSS": true, "ON": true, "ASC": true, "DESC": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "CAST": true,
+	"TRUE": true, "FALSE": true, "EXISTS": true, "UNION": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes a SQL string. It is permissive about whitespace, supports
+// double-quoted identifiers (possibly containing spaces, as produced by LLM
+// translations of messy CSV headers), single-quoted string literals with ”
+// escaping, and line comments introduced by --.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.peek(1) == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '"' || c == '`':
+			if err := l.lexQuotedIdent(c); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9', c == '.' && isDigit(l.peek(1)):
+			l.lexNumber()
+		default:
+			r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+			if r == utf8.RuneError && size <= 1 {
+				return nil, fmt.Errorf("%w: invalid UTF-8 at %d", ErrSyntax, l.pos)
+			}
+			if isIdentStart(r) {
+				l.lexIdent()
+				continue
+			}
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) peek(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.peek(1) == '\'' { // escaped quote
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, val: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("%w: unterminated string at %d", ErrSyntax, start)
+}
+
+func (l *lexer) lexQuotedIdent(quote byte) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokQuotedIdent, val: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("%w: unterminated quoted identifier at %d", ErrSyntax, start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && isDigit(l.peek(1)):
+			seenExp = true
+			l.pos++
+		case (c == '+' || c == '-') && seenExp && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'):
+			l.pos++
+		default:
+			l.toks = append(l.toks, token{kind: tokNumber, val: l.src[start:l.pos], pos: start})
+			return
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, val: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if (r == utf8.RuneError && size <= 1) || !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	raw := l.src[start:l.pos]
+	upper := strings.ToUpper(raw)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tokKeyword, val: upper, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tokIdent, val: raw, pos: start})
+	}
+}
+
+func (l *lexer) lexOp() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "||":
+		l.toks = append(l.toks, token{kind: tokOp, val: two, pos: l.pos})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '.', '+', '-', '*', '/', '%', '=', '<', '>', ';':
+		l.toks = append(l.toks, token{kind: tokOp, val: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("%w: unexpected character %q at %d", ErrSyntax, string(c), l.pos)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,739 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement. A trailing semicolon and
+// surrounding whitespace are tolerated; anything else after the statement is
+// a syntax error.
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: sql}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokOp, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected trailing input %q", p.cur().val)
+	}
+	return stmt, nil
+}
+
+// FromParts is the FROM surface of a statement: the base table plus joins.
+type FromParts struct {
+	From  *TableRef
+	Joins []JoinClause
+}
+
+// ParseFromClause parses a bare FROM-clause body such as
+// `"t1" JOIN "t2" ON "t1"."k" = "t2"."k"` into its parts. It returns nil
+// when the text does not parse.
+func ParseFromClause(fromSQL string) *FromParts {
+	stmt, err := Parse("SELECT 1 FROM " + fromSQL)
+	if err != nil || stmt.From == nil {
+		return nil
+	}
+	return &FromParts{From: stmt.From, Joins: stmt.Joins}
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+// next consumes and returns the current token. The trailing EOF token is
+// never consumed so that error paths can always report a position.
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(kind tokenKind, val string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	return val == "" || t.val == val
+}
+
+// accept consumes the current token when it matches, reporting success.
+func (p *parser) accept(kind tokenKind, val string) bool {
+	if p.at(kind, val) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, val string) (token, error) {
+	if p.at(kind, val) {
+		return p.next(), nil
+	}
+	want := val
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, p.errf("expected %s, found %q", want, p.cur().val)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s at position %d in %q", ErrSyntax,
+		fmt.Sprintf(format, args...), p.cur().pos, truncate(p.src, 120))
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	if p.accept(tokKeyword, "DISTINCT") {
+		stmt.Distinct = true
+	} else {
+		p.accept(tokKeyword, "ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "FROM") {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = &ref
+		for {
+			join, ok, err := p.parseJoin()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			stmt.Joins = append(stmt.Joins, join)
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Limit = n
+		if p.accept(tokKeyword, "OFFSET") {
+			off, err := p.parseIntLiteral()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Offset = off
+		}
+	}
+	if p.at(tokKeyword, "UNION") {
+		return nil, fmt.Errorf("%w: UNION", ErrUnsupported)
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseIntLiteral() (int, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t.val)
+	if err != nil {
+		return 0, p.errf("invalid integer %q", t.val)
+	}
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// table.* or bare *
+	if p.at(tokOp, "*") {
+		p.next()
+		return SelectItem{Expr: &StarExpr{}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		t := p.next()
+		if t.kind != tokIdent && t.kind != tokQuotedIdent && t.kind != tokString {
+			return SelectItem{}, p.errf("expected alias after AS, found %q", t.val)
+		}
+		item.Alias = t.val
+	} else if p.at(tokIdent, "") || p.at(tokQuotedIdent, "") {
+		item.Alias = p.next().val
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.next()
+	if t.kind != tokIdent && t.kind != tokQuotedIdent {
+		return TableRef{}, p.errf("expected table name, found %q", t.val)
+	}
+	ref := TableRef{Name: t.val}
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a
+	} else if p.at(tokIdent, "") || p.at(tokQuotedIdent, "") {
+		ref.Alias = p.next().val
+	}
+	return ref, nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent && t.kind != tokQuotedIdent {
+		return "", p.errf("expected identifier, found %q", t.val)
+	}
+	return t.val, nil
+}
+
+func (p *parser) parseJoin() (JoinClause, bool, error) {
+	kind := ""
+	switch {
+	case p.accept(tokKeyword, "JOIN"):
+		kind = "INNER"
+	case p.at(tokKeyword, "INNER"):
+		p.next()
+		if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+			return JoinClause{}, false, err
+		}
+		kind = "INNER"
+	case p.at(tokKeyword, "CROSS"):
+		p.next()
+		if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+			return JoinClause{}, false, err
+		}
+		kind = "CROSS"
+	case p.at(tokKeyword, "LEFT"), p.at(tokKeyword, "RIGHT"):
+		kind = p.next().val
+		p.accept(tokKeyword, "OUTER")
+		if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+			return JoinClause{}, false, err
+		}
+	case p.at(tokOp, ","):
+		// Implicit cross join: FROM a, b
+		p.next()
+		kind = "CROSS"
+	default:
+		return JoinClause{}, false, nil
+	}
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return JoinClause{}, false, err
+	}
+	join := JoinClause{Kind: kind, Table: ref}
+	if p.accept(tokKeyword, "ON") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return JoinClause{}, false, err
+		}
+		join.On = cond
+	} else if kind != "CROSS" {
+		return JoinClause{}, false, p.errf("JOIN requires ON condition")
+	}
+	return join, true, nil
+}
+
+// parseExpr parses with precedence: OR < AND < NOT < comparison < additive
+// < multiplicative < unary < primary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Expr: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tokOp, "="), p.at(tokOp, "<"), p.at(tokOp, ">"),
+			p.at(tokOp, "<="), p.at(tokOp, ">="), p.at(tokOp, "<>"), p.at(tokOp, "!="):
+			op := p.next().val
+			if op == "!=" {
+				op = "<>"
+			}
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: op, Left: left, Right: right}
+		case p.at(tokKeyword, "LIKE"):
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "LIKE", Left: left, Right: right}
+		case p.at(tokKeyword, "IS"):
+			p.next()
+			not := p.accept(tokKeyword, "NOT")
+			if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{Expr: left, Not: not}
+		case p.at(tokKeyword, "IN"):
+			p.next()
+			in, err := p.parseInTail(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = in
+		case p.at(tokKeyword, "BETWEEN"):
+			p.next()
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BetweenExpr{Expr: left, Lo: lo, Hi: hi}
+		case p.at(tokKeyword, "NOT"):
+			// expr NOT IN / NOT LIKE / NOT BETWEEN
+			save := p.pos
+			p.next()
+			switch {
+			case p.accept(tokKeyword, "IN"):
+				in, err := p.parseInTail(left, true)
+				if err != nil {
+					return nil, err
+				}
+				left = in
+			case p.accept(tokKeyword, "LIKE"):
+				right, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &UnaryExpr{Op: "NOT", Expr: &BinaryExpr{Op: "LIKE", Left: left, Right: right}}
+			case p.accept(tokKeyword, "BETWEEN"):
+				lo, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokKeyword, "AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &BetweenExpr{Expr: left, Lo: lo, Hi: hi, Not: true}
+			default:
+				p.pos = save
+				return left, nil
+			}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseInTail(left Expr, not bool) (Expr, error) {
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	if p.at(tokKeyword, "SELECT") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Expr: left, Sub: sub, Not: not}, nil
+	}
+	var list []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	return &InExpr{Expr: left, List: list, Not: not}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "+") || p.at(tokOp, "-") || p.at(tokOp, "||") {
+		op := p.next().val
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "*") || p.at(tokOp, "/") || p.at(tokOp, "%") {
+		op := p.next().val
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokOp, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", Expr: e}, nil
+	}
+	if p.accept(tokOp, "+") {
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.ContainsAny(t.val, ".eE") {
+			f, err := strconv.ParseFloat(t.val, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", t.val)
+			}
+			return &LiteralExpr{Val: Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.val, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(t.val, 64)
+			if ferr != nil {
+				return nil, p.errf("invalid number %q", t.val)
+			}
+			return &LiteralExpr{Val: Float(f)}, nil
+		}
+		return &LiteralExpr{Val: Int(i)}, nil
+	case t.kind == tokString:
+		p.next()
+		return &LiteralExpr{Val: Text(t.val)}, nil
+	case t.kind == tokKeyword && t.val == "NULL":
+		p.next()
+		return &LiteralExpr{Val: Null()}, nil
+	case t.kind == tokKeyword && t.val == "TRUE":
+		p.next()
+		return &LiteralExpr{Val: Bool(true)}, nil
+	case t.kind == tokKeyword && t.val == "FALSE":
+		p.next()
+		return &LiteralExpr{Val: Bool(false)}, nil
+	case t.kind == tokKeyword && t.val == "CAST":
+		return p.parseCast()
+	case t.kind == tokKeyword && t.val == "CASE":
+		return p.parseCase()
+	case t.kind == tokKeyword && t.val == "EXISTS":
+		p.next()
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Stmt: sub}, nil
+	case t.kind == tokOp && t.val == "(":
+		p.next()
+		if p.at(tokKeyword, "SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Stmt: sub}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent || t.kind == tokQuotedIdent:
+		return p.parseIdentExpr()
+	}
+	return nil, p.errf("unexpected token %q", t.val)
+}
+
+func (p *parser) parseCast() (Expr, error) {
+	p.next() // CAST
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "AS"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var k Kind
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		k = KindInt
+	case "REAL", "FLOAT", "DOUBLE", "DECIMAL", "NUMERIC":
+		k = KindFloat
+	case "TEXT", "VARCHAR", "CHAR", "STRING":
+		k = KindText
+	case "BOOL", "BOOLEAN":
+		k = KindBool
+	default:
+		return nil, p.errf("unknown cast type %q", name)
+	}
+	// Tolerate VARCHAR(255)-style length arguments.
+	if p.accept(tokOp, "(") {
+		if _, err := p.expect(tokNumber, ""); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{Expr: e, Type: k}, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	p.next() // CASE
+	ce := &CaseExpr{}
+	for p.accept(tokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, CaseWhen{Cond: cond, Then: then})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.accept(tokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if _, err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+func (p *parser) parseIdentExpr() (Expr, error) {
+	first := p.next()
+	// Function call?
+	if first.kind == tokIdent && p.at(tokOp, "(") {
+		return p.parseFuncCall(strings.ToUpper(first.val))
+	}
+	// Qualified reference table.column or table.*
+	if p.accept(tokOp, ".") {
+		if p.accept(tokOp, "*") {
+			return &StarExpr{Table: first.val}, nil
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnExpr{Table: first.val, Name: col}, nil
+	}
+	return &ColumnExpr{Name: first.val}, nil
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	p.next() // (
+	fe := &FuncExpr{Name: name}
+	if p.accept(tokOp, "*") {
+		fe.Star = true
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		if name != "COUNT" {
+			return nil, p.errf("%s(*) is not valid", name)
+		}
+		return fe, nil
+	}
+	if p.accept(tokKeyword, "DISTINCT") {
+		fe.Distinct = true
+	}
+	if !p.at(tokOp, ")") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fe.Args = append(fe.Args, e)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	return fe, nil
+}

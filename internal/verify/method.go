@@ -1,0 +1,91 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/claim"
+	"repro/internal/llm"
+	"repro/internal/sqldb"
+)
+
+// Sample is a successfully translated claim used for few-shot learning (the
+// {sample} placeholder of Figure 3).
+type Sample struct {
+	MaskedClaim string
+	Query       string
+}
+
+// Method is one verification approach instantiated with a specific model —
+// one point in CEDAR's method space (one-shot or agent, times model tier).
+type Method interface {
+	// Name identifies the method for scheduling and reporting.
+	Name() string
+	// ModelName is the underlying model identifier (for cost accounting).
+	ModelName() string
+	// Translate attempts to produce a SQL query representing the claim.
+	// sample may be nil. The temperature controls model randomization so
+	// retries can differ (Section 7.1 uses 0 first, then 0.25/0.5).
+	Translate(c *claim.Claim, db *sqldb.Database, sample *Sample, temperature float64) (string, error)
+}
+
+// Attempt applies one method invocation to one claim, implementing the body
+// of Algorithm 2's loop: translate, gate with CorrectQuery, and on success
+// validate with CorrectClaim and record the outcome on the claim.
+func Attempt(m Method, c *claim.Claim, db *sqldb.Database, sample *Sample, temperature float64) bool {
+	c.Result.Attempts++
+	query, err := m.Translate(c, db, sample, temperature)
+	if err != nil {
+		return false
+	}
+	c.Result.Query = query // last attempted query, kept even on failure
+	// Executable means the query parses and runs; an empty or multi-row
+	// result still counts (it ran, it just cannot match the claimed
+	// value), feeding Section 4's marked-incorrect fallback.
+	if _, err := sqldb.QueryScalar(db, query); err == nil || errors.Is(err, sqldb.ErrNotScalar) {
+		c.Result.Executable = true
+	}
+	if !CorrectQuery(query, c.Value, db) {
+		return false
+	}
+	correct, err := CorrectClaim(query, c.Value, db)
+	if err != nil {
+		return false
+	}
+	c.Result.Verified = true
+	c.Result.Correct = correct
+	c.Result.Method = m.Name()
+	return true
+}
+
+// MakeSample converts a successfully verified claim into a few-shot sample.
+func MakeSample(c *claim.Claim) *Sample {
+	masked, _ := c.Masked()
+	return &Sample{MaskedClaim: masked, Query: c.Result.Query}
+}
+
+// baseInputs assembles the prompt ingredients shared by both methods.
+func baseInputs(c *claim.Claim, db *sqldb.Database, masked bool) (claimText, ctx string) {
+	if masked {
+		return maskedPair(c)
+	}
+	return c.Sentence, c.Context
+}
+
+func maskedPair(c *claim.Claim) (string, string) {
+	return c.Masked()
+}
+
+// usageError wraps model invocation failures.
+func usageError(m Method, err error) error {
+	return fmt.Errorf("verify: method %s: %w", m.Name(), err)
+}
+
+// singleTurn invokes the model once with a user prompt.
+func singleTurn(client llm.Client, model, prompt string, temperature float64) (llm.Response, error) {
+	return client.Complete(llm.Request{
+		Model:       model,
+		Messages:    []llm.Message{{Role: llm.RoleUser, Content: prompt}},
+		Temperature: temperature,
+	})
+}

@@ -1,0 +1,89 @@
+package verify
+
+import (
+	"strings"
+
+	"repro/internal/sqldb"
+	"repro/internal/textutil"
+)
+
+// Reconstruct implements Algorithm 9: given the ordered list of SQL queries
+// an agent issued while verifying one claim, compose a single query by
+// substituting constants in later queries with the earlier queries whose
+// results produced them. The final query an agent issues often contains
+// constants obtained from prior queries (e.g. `SELECT driver FROM t WHERE
+// wins = 105` after `SELECT MAX(wins) FROM t` returned 105); substitution
+// recovers the self-contained query `... WHERE wins = (SELECT MAX(wins)
+// FROM t)` that represents the claim semantics.
+func Reconstruct(queries []string, db *sqldb.Database) string {
+	list := append([]string{}, queries...)
+	return reconstruct(list, db)
+}
+
+func reconstruct(list []string, db *sqldb.Database) string {
+	cur := list[0]
+	rest := list[1:]
+	if len(rest) == 0 {
+		return cur
+	}
+	res, err := sqldb.QueryScalar(db, cur)
+	if err == nil && !res.IsNull() {
+		for i, query := range rest {
+			rest[i] = substitute(query, cur, res)
+		}
+	}
+	return reconstruct(rest, db)
+}
+
+// substitute replaces the constant in query that matches res with the
+// sub-query cur. Numeric results replace the whitespace-delimited numeric
+// term with minimal absolute distance, provided the result rounds to that
+// term; string results replace the quoted literal.
+func substitute(query, cur string, res sqldb.Value) string {
+	if rv, ok := res.AsFloat(); ok && res.Kind() != sqldb.KindText {
+		parts := strings.Fields(query)
+		bestIdx := -1
+		bestDist := 0.0
+		for i, part := range parts {
+			t := strings.TrimRight(part, ",;)")
+			suffix := part[len(t):]
+			tv, ok := textutil.ParseNumber(t)
+			if !ok {
+				continue
+			}
+			// Skip terms inside quoted identifiers or literals; fields
+			// containing quotes are not bare constants.
+			if strings.ContainsAny(part, `"'`) {
+				continue
+			}
+			dist := abs(tv - rv)
+			if bestIdx < 0 || dist < bestDist {
+				bestIdx = i
+				bestDist = dist
+				_ = suffix
+			}
+		}
+		if bestIdx < 0 {
+			return query
+		}
+		t := strings.TrimRight(parts[bestIdx], ",;)")
+		suffix := parts[bestIdx][len(t):]
+		if !textutil.RoundMatches(t, rv) {
+			return query
+		}
+		parts[bestIdx] = "(" + cur + ")" + suffix
+		return strings.Join(parts, " ")
+	}
+	literal := "'" + strings.ReplaceAll(res.Text(), "'", "''") + "'"
+	if strings.Contains(query, literal) {
+		return strings.Replace(query, literal, "("+cur+")", 1)
+	}
+	return query
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
