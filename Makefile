@@ -1,0 +1,32 @@
+# Development targets for the CEDAR reproduction. `make check` is the full
+# verification gate: build, vet, the complete test suite under the race
+# detector, and a short fuzz smoke over the SQL parser/executor.
+
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: check build vet test race fuzz-smoke bench
+
+check: build vet race fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Each fuzz target gets a short exploratory burst on top of its seed corpus
+# (the seeds alone already run as part of `go test`).
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzParse$$ -fuzztime $(FUZZTIME) ./internal/sqldb
+	$(GO) test -run NONE -fuzz FuzzQuery$$ -fuzztime $(FUZZTIME) ./internal/sqldb
+	$(GO) test -run NONE -fuzz FuzzParseAndExec$$ -fuzztime $(FUZZTIME) ./internal/sqldb
+
+bench:
+	$(GO) test -bench . -benchmem ./...

@@ -80,10 +80,12 @@ type Options struct {
 	// incur no fees. Off by default to keep cost accounting comparable to
 	// the paper's (which pays for every invocation).
 	CacheResponses bool
-	// Workers > 1 verifies documents concurrently (documents are
-	// independent under Algorithm 1). Results at temperature-0 schedules
-	// are unchanged; stochastic retries may resolve differently run to
-	// run, as they do sequentially.
+	// Workers > 1 verifies concurrently: documents fan out across workers
+	// and, within each document, independent claim attempts share the same
+	// bounded pool. Verification is bit-for-bit deterministic regardless of
+	// Workers — every model invocation draws randomness from a seed split
+	// off (Seed, document, claim, method, try), never from shared state —
+	// so parallelism only changes wall-clock time.
 	Workers int
 }
 
@@ -168,6 +170,8 @@ func (s *System) SetStats(stats []schedule.MethodStats) error {
 		AccuracyTarget: s.opts.AccuracyTarget,
 		CostBudget:     s.opts.CostBudgetPerClaim,
 		MaxTries:       s.opts.MaxTries,
+		Seed:           s.opts.Seed,
+		Workers:        s.opts.Workers,
 	})
 	if err != nil {
 		return err

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	cedar-bench [-seed N] <experiment>
+//	cedar-bench [-seed N] [-workers N] <experiment>
 //
 // Experiments:
 //
@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/exp"
@@ -34,66 +35,51 @@ type csvResult interface{ CSV() string }
 type experiment struct {
 	name string
 	desc string
-	run  func(seed int64) (result, error)
+	run  func(seed int64, workers int) (result, error)
 }
 
 func experiments() []experiment {
 	return []experiment{
-		{"table2", "Table 2: result quality of CEDAR vs baselines", func(s int64) (result, error) {
-			return exp.Table2(s)
+		{"table2", "Table 2: result quality of CEDAR vs baselines", func(s int64, w int) (result, error) {
+			return exp.Table2(s, w)
 		}},
-		{"costs", "Section 7.2: CEDAR verification fees per dataset", func(s int64) (result, error) {
-			return exp.Costs(s)
+		{"costs", "Section 7.2: CEDAR verification fees per dataset", func(s int64, w int) (result, error) {
+			return exp.Costs(s, w)
 		}},
-		{"fig5", "Figure 5: cost/throughput vs F1 trade-offs", func(s int64) (result, error) {
-			return exp.Fig5(s)
+		{"fig5", "Figure 5: cost/throughput vs F1 trade-offs", func(s int64, w int) (result, error) {
+			return exp.Fig5(s, w)
 		}},
-		{"fig6", "Figure 6: F1 change under unit conversions", func(s int64) (result, error) {
-			return exp.Fig6(s)
+		{"fig6", "Figure 6: F1 change under unit conversions", func(s int64, w int) (result, error) {
+			return exp.Fig6(s, w)
 		}},
-		{"table3", "Table 3: query complexity statistics", func(s int64) (result, error) {
-			return exp.Table3(s)
+		{"table3", "Table 3: query complexity statistics", func(s int64, _ int) (result, error) {
+			return exp.Table3(s) // corpus statistics only; nothing to parallelize
 		}},
-		{"joinbench", "Section 7.3.2: schema normalization", func(s int64) (result, error) {
-			return exp.JoinBench(s)
+		{"joinbench", "Section 7.3.2: schema normalization", func(s int64, w int) (result, error) {
+			return exp.JoinBench(s, w)
 		}},
-		{"fig7", "Figure 7: schedule robustness across domains", func(s int64) (result, error) {
-			return exp.Fig7(s)
+		{"fig7", "Figure 7: schedule robustness across domains", func(s int64, w int) (result, error) {
+			return exp.Fig7(s, w)
 		}},
-		{"modelfit", "Extended report: modeled vs realized accuracy (independence assumptions)", func(s int64) (result, error) {
-			return exp.ModelFit(s)
+		{"modelfit", "Extended report: modeled vs realized accuracy (independence assumptions)", func(s int64, w int) (result, error) {
+			return exp.ModelFit(s, w)
 		}},
 	}
 }
 
 func main() {
 	seed := flag.Int64("seed", 17, "random seed (runs are fully reproducible per seed)")
+	workers := flag.Int("workers", 1, "concurrent claim verifications; results are identical for any value")
 	asCSV := flag.Bool("csv", false, "emit CSV series instead of formatted text")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
-	want := flag.Arg(0)
-	ran := false
-	for _, e := range experiments() {
-		if want != "all" && want != e.name {
-			continue
-		}
-		ran = true
-		res, err := e.run(*seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cedar-bench: %s: %v\n", e.name, err)
-			os.Exit(1)
-		}
-		if *asCSV {
-			if c, ok := res.(csvResult); ok {
-				fmt.Printf("# %s (seed %d)\n%s", e.name, *seed, c.CSV())
-				continue
-			}
-		}
-		fmt.Printf("== %s (seed %d) ==\n", e.desc, *seed)
-		fmt.Println(res.Render())
+	ran, err := runExperiments(os.Stdout, flag.Arg(0), *seed, *workers, *asCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cedar-bench:", err)
+		os.Exit(1)
 	}
 	if !ran {
 		usage()
@@ -101,8 +87,33 @@ func main() {
 	}
 }
 
+// runExperiments executes every experiment matching want ("all" matches
+// each) and writes its rendering to w. It reports whether anything matched.
+func runExperiments(w io.Writer, want string, seed int64, workers int, asCSV bool) (bool, error) {
+	ran := false
+	for _, e := range experiments() {
+		if want != "all" && want != e.name {
+			continue
+		}
+		ran = true
+		res, err := e.run(seed, workers)
+		if err != nil {
+			return ran, fmt.Errorf("%s: %w", e.name, err)
+		}
+		if asCSV {
+			if c, ok := res.(csvResult); ok {
+				fmt.Fprintf(w, "# %s (seed %d)\n%s", e.name, seed, c.CSV())
+				continue
+			}
+		}
+		fmt.Fprintf(w, "== %s (seed %d) ==\n", e.desc, seed)
+		fmt.Fprintln(w, res.Render())
+	}
+	return ran, nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cedar-bench [-seed N] <experiment>")
+	fmt.Fprintln(os.Stderr, "usage: cedar-bench [-seed N] [-workers N] <experiment>")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	for _, e := range experiments() {
 		fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/cedar"
+	"repro/internal/profile"
+)
+
+// TestRunWritesLoadableStats smoke-tests the command end to end: profile a
+// few documents, write the stats file, and check cedar -stats could load it.
+func TestRunWritesLoadableStats(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "stats.json")
+	if err := run(11, cedar.BenchAggChecker, 4, out); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := profile.LoadStats(out)
+	if err != nil {
+		t.Fatalf("written stats do not load: %v", err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("profiled %d methods, want the standard 4-method stack", len(stats))
+	}
+	for _, s := range stats {
+		if s.Name == "" || s.Accuracy <= 0 || s.Accuracy > 1 || s.Cost <= 0 {
+			t.Errorf("implausible stats entry %+v", s)
+		}
+	}
+}
+
+// TestRunRejectsUnknownBenchmark covers the error path.
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	if err := run(11, "no-such-benchmark", 4, ""); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}

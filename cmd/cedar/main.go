@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cedar -csv data.csv -table airlines -claims claims.json [-target 0.99] [-seed 1] [-json]
+//	cedar -csv data.csv -table airlines -claims claims.json [-target 0.99] [-seed 1] [-workers 4] [-json]
 //
 // The claims file holds an array of objects:
 //
@@ -62,6 +62,7 @@ func main() {
 		claimsPath = flag.String("claims", "", "JSON file with the claims to verify")
 		target     = flag.Float64("target", 0.99, "accuracy target in (0,1]")
 		seed       = flag.Int64("seed", 1, "random seed for the simulated models")
+		workers    = flag.Int("workers", 1, "concurrent claim verifications; results are identical for any value")
 		asJSON     = flag.Bool("json", false, "emit results as JSON")
 		statsPath  = flag.String("stats", "", "profiling statistics JSON (from cedar-profile -o); skips built-in profiling")
 		htmlPath   = flag.String("html", "", "also write a demo-style HTML report to this file")
@@ -71,13 +72,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(csvPaths, *tableName, *claimsPath, *target, *seed, *asJSON, *statsPath, *htmlPath); err != nil {
+	if err := run(csvPaths, *tableName, *claimsPath, *target, *seed, *workers, *asJSON, *statsPath, *htmlPath); err != nil {
 		fmt.Fprintln(os.Stderr, "cedar:", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvPaths []string, tableName, claimsPath string, target float64, seed int64, asJSON bool, statsPath, htmlPath string) error {
+func run(csvPaths []string, tableName, claimsPath string, target float64, seed int64, workers int, asJSON bool, statsPath, htmlPath string) error {
 	if tableName != "" && len(csvPaths) > 1 {
 		return fmt.Errorf("-table applies to a single -csv; multi-table databases name tables by file")
 	}
@@ -123,7 +124,7 @@ func run(csvPaths []string, tableName, claimsPath string, target float64, seed i
 		doc.Claims = append(doc.Claims, c)
 	}
 
-	sys, err := cedar.New(cedar.Options{Seed: seed, AccuracyTarget: target})
+	sys, err := cedar.New(cedar.Options{Seed: seed, AccuracyTarget: target, Workers: workers})
 	if err != nil {
 		return err
 	}

@@ -36,16 +36,16 @@ func writeFixtures(t *testing.T) (csvPath, claimsPath string) {
 
 func TestRunEndToEnd(t *testing.T) {
 	csvPath, claimsPath := writeFixtures(t)
-	if err := run([]string{csvPath}, "airlines", claimsPath, 0.99, 1, false, "", ""); err != nil {
+	if err := run([]string{csvPath}, "airlines", claimsPath, 0.99, 1, 1, false, "", ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// JSON output path and default table name derivation.
-	if err := run([]string{csvPath}, "", claimsPath, 0.9, 2, true, "", ""); err != nil {
+	if err := run([]string{csvPath}, "", claimsPath, 0.9, 2, 2, true, "", ""); err != nil {
 		t.Fatalf("run json: %v", err)
 	}
 	// HTML report output.
 	htmlPath := filepath.Join(t.TempDir(), "report.html")
-	if err := run([]string{csvPath}, "airlines", claimsPath, 0.99, 1, false, "", htmlPath); err != nil {
+	if err := run([]string{csvPath}, "airlines", claimsPath, 0.99, 1, 1, false, "", htmlPath); err != nil {
 		t.Fatalf("run html: %v", err)
 	}
 	page, err := os.ReadFile(htmlPath)
@@ -67,27 +67,27 @@ func TestRunWithStatsFile(t *testing.T) {
 	if err := os.WriteFile(statsPath, []byte(stats), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{csvPath}, "airlines", claimsPath, 0.99, 1, false, statsPath, ""); err != nil {
+	if err := run([]string{csvPath}, "airlines", claimsPath, 0.99, 1, 1, false, statsPath, ""); err != nil {
 		t.Fatalf("run with stats: %v", err)
 	}
-	if err := run([]string{csvPath}, "airlines", claimsPath, 0.99, 1, false, "/nonexistent-stats.json", ""); err == nil {
+	if err := run([]string{csvPath}, "airlines", claimsPath, 0.99, 1, 1, false, "/nonexistent-stats.json", ""); err == nil {
 		t.Error("expected error for missing stats file")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	csvPath, claimsPath := writeFixtures(t)
-	if err := run([]string{"/nonexistent.csv"}, "t", claimsPath, 0.99, 1, false, "", ""); err == nil {
+	if err := run([]string{"/nonexistent.csv"}, "t", claimsPath, 0.99, 1, 1, false, "", ""); err == nil {
 		t.Error("expected error for missing CSV")
 	}
-	if err := run([]string{csvPath}, "t", "/nonexistent.json", 0.99, 1, false, "", ""); err == nil {
+	if err := run([]string{csvPath}, "t", "/nonexistent.json", 0.99, 1, 1, false, "", ""); err == nil {
 		t.Error("expected error for missing claims file")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{csvPath}, "t", bad, 0.99, 1, false, "", ""); err == nil {
+	if err := run([]string{csvPath}, "t", bad, 0.99, 1, 1, false, "", ""); err == nil {
 		t.Error("expected error for malformed claims JSON")
 	}
 	// A claim whose value is absent from the sentence must be rejected.
@@ -96,7 +96,7 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(miss, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{csvPath}, "t", miss, 0.99, 1, false, "", ""); err == nil {
+	if err := run([]string{csvPath}, "t", miss, 0.99, 1, 1, false, "", ""); err == nil {
 		t.Error("expected error for unlocatable claim value")
 	}
 }
@@ -114,11 +114,11 @@ func TestRunMultiTableCSV(t *testing.T) {
 		Value:    "2",
 	}})
 	os.WriteFile(claims, raw, 0o644)
-	if err := run([]string{airlines, safety}, "", claims, 0.99, 3, false, "", ""); err != nil {
+	if err := run([]string{airlines, safety}, "", claims, 0.99, 3, 2, false, "", ""); err != nil {
 		t.Fatalf("multi-table run: %v", err)
 	}
 	// -table with multiple CSVs is rejected.
-	if err := run([]string{airlines, safety}, "t", claims, 0.99, 3, false, "", ""); err == nil {
+	if err := run([]string{airlines, safety}, "t", claims, 0.99, 3, 2, false, "", ""); err == nil {
 		t.Error("expected -table + multi-csv error")
 	}
 }

@@ -52,6 +52,10 @@ type Runner struct {
 	Client      llm.Client
 	Model       string
 	Temperature float64
+	// Seed is threaded into every completion request of the conversation
+	// (constant across turns, so the trajectory stays coherent); retries
+	// with distinct seeds sample distinct trajectories at temperature > 0.
+	Seed int64
 	// MaxIters caps the number of model invocations (default 8).
 	MaxIters int
 	// QueryToolName identifies the tool whose inputs are logged as
@@ -77,6 +81,7 @@ func (r *Runner) Run(basePrompt string, tools []Tool) (*Trace, error) {
 			Model:       r.Model,
 			Messages:    messages,
 			Temperature: r.Temperature,
+			Seed:        r.Seed,
 		})
 		if err != nil {
 			return trace, fmt.Errorf("agent: model invocation: %w", err)

@@ -9,10 +9,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/claim"
+	"repro/internal/llm"
 	"repro/internal/schedule"
 	"repro/internal/sqldb"
 	"repro/internal/verify"
@@ -39,6 +41,16 @@ type Config struct {
 	// first invocation, then 0.25 for one-shot methods and 0.5 for agent
 	// methods.
 	RetryTemperature func(methodName string, try int) float64
+	// Seed is the base of the splittable seeding scheme: every model
+	// invocation gets llm.SplitSeed(Seed, docID, claimIndex, method, try),
+	// so temperature > 0 retries are reproducible per attempt identity and
+	// results are bit-identical for any worker count.
+	Seed int64
+	// Workers bounds the number of concurrent claim verifications across
+	// the pipeline (shared by all documents in flight). Values < 2 keep
+	// every pass sequential. Parallelism never changes results — only
+	// wall-clock time.
+	Workers int
 }
 
 // DefaultRetryTemperature is the Section 7.1 temperature ladder.
@@ -58,6 +70,9 @@ type Pipeline struct {
 	plan     *schedule.Schedule
 	byName   map[string]verify.Method
 	tempFunc func(string, int) float64
+	// sem bounds in-flight claim attempts across all documents when
+	// cfg.Workers > 1; nil means fully sequential passes.
+	sem chan struct{}
 }
 
 // ErrUnknownMethod indicates the schedule references a method not in the
@@ -107,6 +122,9 @@ func newWithSchedule(cfg Config, plan *schedule.Schedule) (*Pipeline, error) {
 	if p.tempFunc == nil {
 		p.tempFunc = DefaultRetryTemperature
 	}
+	if cfg.Workers > 1 {
+		p.sem = make(chan struct{}, cfg.Workers)
+	}
 	for _, m := range cfg.Methods {
 		p.byName[m.Name()] = m
 	}
@@ -133,8 +151,10 @@ func (p *Pipeline) VerifyDocuments(docs []*claim.Document) {
 
 // VerifyDocumentsParallel verifies documents concurrently with the given
 // number of workers. Documents are independent in Algorithm 1 (schedules,
-// few-shot samples, and databases are all per-document), so parallelism
-// changes throughput but not results; the underlying ledger is safe for
+// few-shot samples, and databases are all per-document) and every claim
+// attempt owns a seed split from its identity, so parallelism — across
+// documents here and across claims inside VerifyDocument — changes
+// throughput but never results; the underlying ledger is safe for
 // concurrent metering. workers < 2 falls back to the sequential path.
 func (p *Pipeline) VerifyDocumentsParallel(docs []*claim.Document, workers int) {
 	if workers < 2 || len(docs) < 2 {
@@ -163,7 +183,22 @@ func (p *Pipeline) VerifyDocumentsParallel(docs []*claim.Document, workers int) 
 }
 
 // VerifyDocument runs the scheduled stages over one document's claims.
+//
+// Within each (step, try) the few-shot harvest keeps Algorithm 1's
+// sequential semantics — claims are attempted in order until the first
+// success, which seeds the later claims of that step — while the subsequent
+// with-sample sweep fans out over the worker pool. Because every attempt's
+// randomness is split from (document, claim index, method, try), the fan-out
+// reorders only execution, never outcomes: any Workers value produces the
+// same Results, byte for byte.
 func (p *Pipeline) VerifyDocument(d *claim.Document) {
+	// Claim indices are positions in the document, stable across passes, so
+	// an attempt's seed does not depend on which claims earlier steps
+	// already verified.
+	index := make(map[*claim.Claim]int, len(d.Claims))
+	for i, c := range d.Claims {
+		index[c] = i
+	}
 	remaining := append([]*claim.Claim{}, d.Claims...)
 	for _, step := range p.plan.Steps {
 		if step.Tries == 0 || len(remaining) == 0 {
@@ -175,15 +210,19 @@ func (p *Pipeline) VerifyDocument(d *claim.Document) {
 		var sample *verify.Sample
 		for try := 0; try < step.Tries && len(remaining) > 0; try++ {
 			temp := p.tempFunc(step.Method, try)
+			seedFor := func(c *claim.Claim) int64 {
+				return llm.SplitSeed(p.cfg.Seed,
+					d.ID, strconv.Itoa(index[c]), step.Method, strconv.Itoa(try))
+			}
 			if sample == nil {
-				s := verifyPass(m, remaining, nil, d.Data, temp)
+				s := p.harvestPass(m, remaining, d.Data, temp, seedFor)
 				remaining = removeAll(remaining, s)
 				if len(s) > 0 {
 					sample = verify.MakeSample(s[0])
 				}
 			}
 			if sample != nil && len(remaining) > 0 {
-				s := verifyPass(m, remaining, sample, d.Data, temp)
+				s := p.samplePass(m, remaining, sample, d.Data, temp, seedFor)
 				remaining = removeAll(remaining, s)
 			}
 		}
@@ -202,22 +241,73 @@ func (p *Pipeline) VerifyDocument(d *claim.Document) {
 	}
 }
 
-// verifyPass implements Algorithm 2: apply one verification method to the
-// claims. Without a sample it returns immediately after the first success,
-// so the caller can harvest it for few-shot learning; with a sample it
-// verifies all claims and returns every success.
-func verifyPass(m verify.Method, claims []*claim.Claim, sample *verify.Sample, db *sqldb.Database, temperature float64) []*claim.Claim {
-	var verified []*claim.Claim
+// harvestPass implements Algorithm 2's no-sample mode: attempt claims in
+// order and return the first success, which the caller harvests as the
+// step's few-shot sample. The scan is inherently sequential (later claims
+// are only attempted when earlier ones failed), so it runs on the calling
+// goroutine; each attempt still holds a worker slot to keep the global
+// attempt bound when many documents are in flight.
+func (p *Pipeline) harvestPass(m verify.Method, claims []*claim.Claim, db *sqldb.Database, temperature float64, seedFor func(*claim.Claim) int64) []*claim.Claim {
 	for _, c := range claims {
-		if !verify.Attempt(m, c, db, sample, temperature) {
-			continue
-		}
-		if sample == nil {
+		p.acquire()
+		ok := verify.AttemptWith(m, c, db, verify.Invocation{Temperature: temperature, Seed: seedFor(c)})
+		p.release()
+		if ok {
 			return []*claim.Claim{c}
 		}
-		verified = append(verified, c)
+	}
+	return nil
+}
+
+// samplePass implements Algorithm 2's with-sample mode: verify every claim
+// and return all successes. Attempts are mutually independent — each owns
+// its claim, its seed, and a read-only view of the database — so they fan
+// out over the worker pool; successes are collected in claim order, keeping
+// the result identical to a sequential sweep.
+func (p *Pipeline) samplePass(m verify.Method, claims []*claim.Claim, sample *verify.Sample, db *sqldb.Database, temperature float64, seedFor func(*claim.Claim) int64) []*claim.Claim {
+	attempt := func(c *claim.Claim) bool {
+		return verify.AttemptWith(m, c, db, verify.Invocation{Sample: sample, Temperature: temperature, Seed: seedFor(c)})
+	}
+	var verified []*claim.Claim
+	if p.sem == nil || len(claims) < 2 {
+		for _, c := range claims {
+			if attempt(c) {
+				verified = append(verified, c)
+			}
+		}
+		return verified
+	}
+	ok := make([]bool, len(claims))
+	var wg sync.WaitGroup
+	for i, c := range claims {
+		wg.Add(1)
+		go func(i int, c *claim.Claim) {
+			defer wg.Done()
+			p.acquire()
+			defer p.release()
+			ok[i] = attempt(c)
+		}(i, c)
+	}
+	wg.Wait()
+	for i, c := range claims {
+		if ok[i] {
+			verified = append(verified, c)
+		}
 	}
 	return verified
+}
+
+// acquire takes a worker slot when the pool is bounded; release returns it.
+func (p *Pipeline) acquire() {
+	if p.sem != nil {
+		p.sem <- struct{}{}
+	}
+}
+
+func (p *Pipeline) release() {
+	if p.sem != nil {
+		<-p.sem
+	}
 }
 
 func removeAll(claims, drop []*claim.Claim) []*claim.Claim {

@@ -27,7 +27,7 @@ type CostsResult struct {
 // models are simulated and the corpora synthetic); the shape to check is
 // AggChecker >> TabFact and WikiText, since AggChecker has ~4x the claims
 // and the hardest ones.
-func Costs(seed int64) (*CostsResult, error) {
+func Costs(seed int64, workers int) (*CostsResult, error) {
 	res := &CostsResult{}
 	for _, ds := range standardDatasets() {
 		evalDocs, err := ds.gen(seed)
@@ -45,6 +45,7 @@ func Costs(seed int64) (*CostsResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		stack.Workers = workers
 		stats, err := stack.Profile(profDocs)
 		if err != nil {
 			return nil, err

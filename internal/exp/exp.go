@@ -25,6 +25,13 @@ import (
 type Stack struct {
 	Methods []verify.Method
 	Ledger  *llm.Ledger
+	// Workers bounds concurrent claim verification in pipeline runs; values
+	// < 2 run sequentially. Results are identical for any worker count (the
+	// splittable seeding of internal/core), so experiments may parallelize
+	// freely without perturbing reported numbers.
+	Workers int
+
+	seed int64
 }
 
 // Canonical method labels used across experiments.
@@ -58,6 +65,7 @@ func NewStack(seed int64) (*Stack, error) {
 		return nil, err
 	}
 	return &Stack{
+		seed: seed,
 		Methods: []verify.Method{
 			verify.NewOneShot(c35, llm.ModelGPT35, MethodOneShot35),
 			verify.NewOneShot(c4o, llm.ModelGPT4o, MethodOneShot4o),
@@ -76,7 +84,7 @@ func (s *Stack) Profile(profDocs []*claim.Document) ([]schedule.MethodStats, err
 // RunCEDAR plans a schedule at the accuracy target, verifies the documents,
 // and returns the quality metrics plus the run's resource consumption.
 func (s *Stack) RunCEDAR(stats []schedule.MethodStats, target float64, docs []*claim.Document) (metrics.Quality, metrics.RunCost, *core.Pipeline, error) {
-	p, err := core.New(core.Config{Methods: s.Methods, Stats: stats, AccuracyTarget: target})
+	p, err := core.New(core.Config{Methods: s.Methods, Stats: stats, AccuracyTarget: target, Seed: s.seed, Workers: s.Workers})
 	if err != nil {
 		return metrics.Quality{}, metrics.RunCost{}, nil, err
 	}
@@ -86,7 +94,7 @@ func (s *Stack) RunCEDAR(stats []schedule.MethodStats, target float64, docs []*c
 
 // RunSchedule verifies the documents under a fixed schedule.
 func (s *Stack) RunSchedule(plan *schedule.Schedule, docs []*claim.Document) (metrics.Quality, metrics.RunCost, error) {
-	p, err := core.NewWithSchedule(core.Config{Methods: s.Methods}, plan)
+	p, err := core.NewWithSchedule(core.Config{Methods: s.Methods, Seed: s.seed, Workers: s.Workers}, plan)
 	if err != nil {
 		return metrics.Quality{}, metrics.RunCost{}, err
 	}
@@ -96,7 +104,7 @@ func (s *Stack) RunSchedule(plan *schedule.Schedule, docs []*claim.Document) (me
 
 func (s *Stack) runPipeline(p *core.Pipeline, docs []*claim.Document) (metrics.Quality, metrics.RunCost) {
 	s.Ledger.Reset()
-	p.VerifyDocuments(docs)
+	p.VerifyDocumentsParallel(docs, s.Workers)
 	rc := metrics.RunCost{
 		Dollars: s.Ledger.TotalDollars(),
 		Calls:   s.Ledger.TotalCalls(),

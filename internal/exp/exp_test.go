@@ -11,7 +11,7 @@ import (
 // AggChecker baseline does not support textual claims, and P1/P2 trail due
 // to low precision.
 func TestTable2Shape(t *testing.T) {
-	res, err := Table2(17)
+	res, err := Table2(17, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestCostsShape(t *testing.T) {
-	res, err := Costs(19)
+	res, err := Costs(19, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestCostsShape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	res, err := Fig5(23)
+	res, err := Fig5(23, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func pointLabel(th float64) string {
 }
 
 func TestFig6Shape(t *testing.T) {
-	res, err := Fig6(29)
+	res, err := Fig6(29, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestJoinBenchShape(t *testing.T) {
-	res, err := JoinBench(37)
+	res, err := JoinBench(37, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestJoinBenchShape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	res, err := Fig7(41)
+	res, err := Fig7(41, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestModelFitShape(t *testing.T) {
-	res, err := ModelFit(43)
+	res, err := ModelFit(43, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,12 +269,12 @@ func TestCSVEmitters(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkCSV(t, t3.CSV(), "dataset", 4)
-	jb, err := JoinBench(47)
+	jb, err := JoinBench(47, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkCSV(t, jb.CSV(), "schema", 2)
-	f6, err := Fig6(47)
+	f6, err := Fig6(47, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

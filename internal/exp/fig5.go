@@ -40,7 +40,7 @@ var Fig5Thresholds = []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.99}
 // Fig5 sweeps CEDAR's accuracy threshold and runs each verification method
 // as a single-stage baseline (two tries, matching the retry budget the
 // scheduler typically assigns).
-func Fig5(seed int64) (*Fig5Result, error) {
+func Fig5(seed int64, workers int) (*Fig5Result, error) {
 	evalDocs, err := claimSource(seed)
 	if err != nil {
 		return nil, err
@@ -55,6 +55,7 @@ func Fig5(seed int64) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	stack.Workers = workers
 	stats, err := stack.Profile(profDocs)
 	if err != nil {
 		return nil, err

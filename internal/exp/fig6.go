@@ -33,7 +33,7 @@ type Fig6Result struct {
 // draw is statistically fragile; the overall scores aggregate three
 // replica corpora (60 claims) while the per-document bars show the first
 // replica, matching the paper's 8 documents.
-func Fig6(seed int64) (*Fig6Result, error) {
+func Fig6(seed int64, workers int) (*Fig6Result, error) {
 	var aligned, converted []*claim.Document
 	for r := int64(0); r < 3; r++ {
 		a, err := data.UnitConv(seed+r, true)
@@ -65,6 +65,7 @@ func Fig6(seed int64) (*Fig6Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	stack.Workers = workers
 	stats, err := stack.Profile(profDocs)
 	if err != nil {
 		return nil, err

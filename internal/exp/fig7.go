@@ -29,7 +29,7 @@ type Fig7Result struct {
 // Fig7 profiles CEDAR's methods on eight single documents (two per
 // AggChecker domain), plans one schedule per profile, and applies every
 // schedule to every domain's evaluation claims.
-func Fig7(seed int64) (*Fig7Result, error) {
+func Fig7(seed int64, workers int) (*Fig7Result, error) {
 	docs, err := data.AggChecker(seed)
 	if err != nil {
 		return nil, err
@@ -47,6 +47,7 @@ func Fig7(seed int64) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	stack.Workers = workers
 
 	// Two profiling documents per domain; evaluation uses the remaining
 	// documents of each domain.

@@ -22,7 +22,7 @@ type JoinBenchResult struct {
 
 // JoinBench runs CEDAR at the 99% threshold over the same claims on flat
 // and normalized databases.
-func JoinBench(seed int64) (*JoinBenchResult, error) {
+func JoinBench(seed int64, workers int) (*JoinBenchResult, error) {
 	flat, normalized, err := data.JoinBench(seed)
 	if err != nil {
 		return nil, err
@@ -36,6 +36,7 @@ func JoinBench(seed int64) (*JoinBenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	stack.Workers = workers
 	stats, err := stack.Profile(profFlat)
 	if err != nil {
 		return nil, err

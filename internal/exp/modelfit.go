@@ -28,7 +28,7 @@ type ModelFitResult struct {
 
 // ModelFit sweeps accuracy thresholds on the AggChecker corpus, recording
 // modeled vs realized verification rates per planned schedule.
-func ModelFit(seed int64) (*ModelFitResult, error) {
+func ModelFit(seed int64, workers int) (*ModelFitResult, error) {
 	evalDocs, err := claimSource(seed)
 	if err != nil {
 		return nil, err
@@ -42,6 +42,7 @@ func ModelFit(seed int64) (*ModelFitResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	stack.Workers = workers
 	stats, err := stack.Profile(profDocs)
 	if err != nil {
 		return nil, err

@@ -35,7 +35,7 @@ var table2Systems = []string{"CEDAR", "AggC", "TAPEX", "P1", "P2"}
 
 // Table2 runs the comparison. The accuracy threshold for CEDAR is the
 // paper's default of 99%.
-func Table2(seed int64) (*Table2Result, error) {
+func Table2(seed int64, workers int) (*Table2Result, error) {
 	res := &Table2Result{}
 	for _, ds := range standardDatasets() {
 		evalDocs, err := ds.gen(seed)
@@ -55,6 +55,7 @@ func Table2(seed int64) (*Table2Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		stack.Workers = workers
 		stats, err := stack.Profile(profDocs)
 		if err != nil {
 			return nil, err

@@ -19,11 +19,12 @@ type Cached struct {
 	// MaxEntries bounds the cache (LRU eviction); 0 means 4096.
 	MaxEntries int
 
-	mu    sync.Mutex
-	table map[uint64]*list.Element
-	order *list.List // front = most recently used
-	hits  int
-	calls int
+	mu       sync.Mutex
+	table    map[uint64]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[uint64]*inflightCall
+	hits     int
+	calls    int
 }
 
 type cacheEntry struct {
@@ -31,12 +32,25 @@ type cacheEntry struct {
 	resp Response
 }
 
+// inflightCall tracks a cache miss currently being filled, so concurrent
+// requests for the same prompt wait for the leader instead of invoking the
+// model again (single-flight). Without it, claim-level parallelism would
+// bill a duplicate prompt once or twice depending on goroutine timing.
+type inflightCall struct {
+	done chan struct{}
+	resp Response
+	err  error
+}
+
 // NewCached wraps a client with a temperature-0 cache.
 func NewCached(client Client, maxEntries int) *Cached {
 	return &Cached{Client: client, MaxEntries: maxEntries}
 }
 
-// Complete implements Client.
+// Complete implements Client. Concurrent misses on the same key are
+// single-flighted: one request invokes the model, the others block on it and
+// share its response, so the underlying client sees each distinct
+// temperature-0 prompt exactly once regardless of scheduling.
 func (c *Cached) Complete(req Request) (Response, error) {
 	if req.Temperature > 0 {
 		return c.Client.Complete(req)
@@ -47,6 +61,7 @@ func (c *Cached) Complete(req Request) (Response, error) {
 	if c.table == nil {
 		c.table = make(map[uint64]*list.Element)
 		c.order = list.New()
+		c.inflight = make(map[uint64]*inflightCall)
 	}
 	if el, ok := c.table[key]; ok {
 		c.hits++
@@ -55,15 +70,28 @@ func (c *Cached) Complete(req Request) (Response, error) {
 		c.mu.Unlock()
 		return resp, nil
 	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return call.resp, call.err
+		}
+		// Count the wait as a hit: the model was not re-invoked.
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return call.resp, nil
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[key] = call
 	c.mu.Unlock()
 
 	resp, err := c.Client.Complete(req)
-	if err != nil {
-		return resp, err
-	}
+	call.resp, call.err = resp, err
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.table[key]; !ok {
+	delete(c.inflight, key)
+	if err == nil {
 		c.table[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
 		max := c.MaxEntries
 		if max <= 0 {
@@ -75,7 +103,9 @@ func (c *Cached) Complete(req Request) (Response, error) {
 			c.order.Remove(back)
 		}
 	}
-	return resp, nil
+	c.mu.Unlock()
+	close(call.done)
+	return resp, err
 }
 
 // Stats returns the number of temperature-0 lookups and hits so far.

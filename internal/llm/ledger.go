@@ -40,17 +40,29 @@ func (l *Ledger) Record(model string, u Usage, latency time.Duration) {
 	}
 	e.Calls++
 	e.Usage = e.Usage.Add(u)
-	e.Dollars += PriceFor(model).Cost(u)
+	// Recompute the fee from the accumulated usage instead of summing
+	// per-call fees: Cost is linear in token counts, so the value is the
+	// same, but it no longer depends on the floating-point order in which
+	// concurrent completions land — a prerequisite for bit-identical fee
+	// totals under claim-level parallelism.
+	e.Dollars = PriceFor(model).Cost(e.Usage)
 	e.Wall += latency
 }
 
-// TotalDollars returns the accumulated fee across all models.
+// TotalDollars returns the accumulated fee across all models. Models are
+// summed in name order so the float result is identical run to run (map
+// iteration order would reorder the additions).
 func (l *Ledger) TotalDollars() float64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.byModel))
+	for name := range l.byModel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	total := 0.0
-	for _, e := range l.byModel {
-		total += e.Dollars
+	for _, name := range names {
+		total += l.byModel[name].Dollars
 	}
 	return total
 }

@@ -32,6 +32,13 @@ type Request struct {
 	Temperature float64
 	// MaxTokens caps the completion length; zero means provider default.
 	MaxTokens int
+	// Seed identifies this invocation for sampling purposes, the analog of
+	// OpenAI's `seed` parameter. At temperature > 0 providers that support
+	// seeding draw their randomness from (prompt, Seed) rather than a shared
+	// stream, so concurrent callers get reproducible completions no matter
+	// how their requests interleave. Zero is a valid seed; temperature-0
+	// completions ignore it (they are deterministic per prompt already).
+	Seed int64
 }
 
 // Usage reports token consumption of one completion.

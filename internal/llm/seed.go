@@ -1,0 +1,28 @@
+package llm
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// SplitSeed derives an independent sub-seed from a base seed and a list of
+// identity parts — the splittable seeding scheme behind CEDAR's deterministic
+// parallelism. The verification pipeline keys each model invocation on
+// (document ID, claim index, method name, try number); because every attempt
+// owns its seed, outcomes depend only on the attempt's identity, never on how
+// concurrent attempts interleave, so any worker count reproduces the same
+// results bit for bit.
+//
+// The derivation is FNV-64a over the base seed and the NUL-separated parts.
+// It is stable across runs and platforms; it is not cryptographic.
+func SplitSeed(base int64, parts ...string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(base))
+	_, _ = h.Write(buf[:])
+	for _, p := range parts {
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(p))
+	}
+	return int64(h.Sum64())
+}

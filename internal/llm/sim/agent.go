@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"strings"
 
 	"repro/internal/embed"
+	"repro/internal/llm"
 	"repro/internal/nl"
 	"repro/internal/prompts"
 )
@@ -24,12 +26,14 @@ type histStep struct {
 
 // agentStep produces the model's next ReAct turn given the full transcript.
 // The policy is a pure function of the conversation: the model re-derives
-// its plan from the base prompt (with randomness seeded by the base prompt
-// and temperature, so one conversation stays coherent while retries at
-// temperature > 0 differ) and advances according to the observations.
-func (m *Model) agentStep(prompt string, temperature float64, _ *rand.Rand) string {
+// its plan from the base prompt (with randomness seeded by the base prompt,
+// the temperature, and — at temperature > 0 — the model and request seeds,
+// so one conversation stays coherent while retries with fresh request seeds
+// differ) and advances according to the observations.
+func (m *Model) agentStep(prompt string, req llm.Request) string {
+	temperature := req.Temperature
 	base, tail := splitBase(prompt)
-	rng := m.conversationRNG(base, temperature)
+	rng := m.conversationRNG(base, req)
 
 	// Conversation derailment: the model drops out of the ReAct format and
 	// the scaffolding cannot continue (the runner reports no progress).
@@ -93,11 +97,22 @@ func (m *Model) agentStep(prompt string, temperature float64, _ *rand.Rand) stri
 }
 
 // conversationRNG derives the deterministic per-conversation randomness.
-func (m *Model) conversationRNG(base string, temperature float64) *rand.Rand {
+// Every turn of one conversation shares the same base prompt and request
+// seed, so the whole trajectory replays coherently; at temperature > 0 the
+// model and request seeds join the hash so seeded retries sample different
+// trajectories (the runner keeps Request.Seed constant within a run).
+func (m *Model) conversationRNG(base string, req llm.Request) *rand.Rand {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(m.profile.Name))
 	_, _ = h.Write([]byte(base))
-	fmt.Fprintf(h, "%.4f", temperature)
+	fmt.Fprintf(h, "%.4f", req.Temperature)
+	if req.Temperature > 0 {
+		_, _ = h.Write([]byte(samplingSalt))
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], uint64(m.seed))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(req.Seed))
+		_, _ = h.Write(buf[:])
+	}
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 

@@ -13,11 +13,11 @@
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"strings"
-	"sync"
 
 	"repro/internal/llm"
 	"repro/internal/nl"
@@ -148,17 +148,19 @@ func Profiles() map[string]Profile {
 	}
 }
 
-// Model is a simulated LLM implementing llm.Client.
+// Model is a simulated LLM implementing llm.Client. A Model holds no
+// mutable state — all randomness is derived per completion from the prompt
+// and the request seed — so one instance is safe for any number of
+// concurrent callers, and outcomes never depend on request ordering.
 type Model struct {
 	profile Profile
 	lex     *nl.Lexicon
-
-	mu  sync.Mutex
-	rng *rand.Rand
+	seed    int64
 }
 
 // New constructs a simulated model by canonical name. The seed drives the
-// model's sampling randomness (used at temperature > 0).
+// model's sampling randomness (used at temperature > 0): models built with
+// different seeds sample different completions for the same request.
 func New(name string, seed int64) (*Model, error) {
 	p, ok := Profiles()[name]
 	if !ok {
@@ -167,7 +169,7 @@ func New(name string, seed int64) (*Model, error) {
 	return &Model{
 		profile: p,
 		lex:     nl.DefaultLexicon(),
-		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 	}, nil
 }
 
@@ -181,11 +183,11 @@ func (m *Model) Complete(req llm.Request) (llm.Response, error) {
 		return llm.Response{}, fmt.Errorf("%w: model %q served by %q", llm.ErrUnknownModel, req.Model, m.profile.Name)
 	}
 	prompt := llm.PromptText(req.Messages)
-	rng := m.rngFor(prompt, req.Temperature)
+	rng := m.rngFor(prompt, req)
 
 	var content string
 	if strings.Contains(prompt, agentMarker) {
-		content = m.agentStep(prompt, req.Temperature, rng)
+		content = m.agentStep(prompt, req)
 	} else {
 		content = m.oneShot(prompt, req.Temperature, rng)
 	}
@@ -204,18 +206,30 @@ func (m *Model) Complete(req llm.Request) (llm.Response, error) {
 // zero the model is deterministic per prompt (like real sampling with
 // temperature 0): the same input always yields the same output, so retrying
 // at temperature 0 cannot change the outcome. At higher temperatures the
-// model's shared stream makes retries genuinely random — the property
-// CEDAR's retry scheduling relies on (Assumption 1).
-func (m *Model) rngFor(prompt string, temperature float64) *rand.Rand {
-	if temperature <= 0 {
-		h := fnv.New64a()
-		_, _ = h.Write([]byte(m.profile.Name))
-		_, _ = h.Write([]byte(prompt))
-		return rand.New(rand.NewSource(int64(h.Sum64())))
+// randomness is derived from (prompt, model seed, request seed,
+// temperature) — splittable seeding instead of a shared stream. Callers
+// that thread a fresh Request.Seed per retry (as the pipeline does, keyed
+// on document, claim, method, and try) get the genuinely-varying retries
+// CEDAR's scheduling relies on (Assumption 1), while concurrent completions
+// can never perturb each other.
+// samplingSalt versions the temperature > 0 sampling streams. Bumping it
+// re-rolls every seeded retry at once (the simulated analog of a provider
+// updating model weights) without disturbing temperature-0 determinism.
+const samplingSalt = "sampling-v1"
+
+func (m *Model) rngFor(prompt string, req llm.Request) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(m.profile.Name))
+	_, _ = h.Write([]byte(prompt))
+	if req.Temperature > 0 {
+		_, _ = h.Write([]byte(samplingSalt))
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], uint64(m.seed))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(req.Seed))
+		_, _ = h.Write(buf[:])
+		fmt.Fprintf(h, "%.4f", req.Temperature)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return rand.New(rand.NewSource(m.rng.Int63()))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
 // noise returns the corruption probability at the given temperature, with

@@ -26,11 +26,18 @@ func oneShotPrompt(db *sqldb.Database, masked string) string {
 }
 
 func complete(t *testing.T, m *Model, prompt string, temp float64) string {
+	return completeSeeded(t, m, prompt, temp, 0)
+}
+
+// completeSeeded sets the request Seed, which distinguishes repeated
+// temperature > 0 samples of the same prompt (the model itself is stateless).
+func completeSeeded(t *testing.T, m *Model, prompt string, temp float64, seed int64) string {
 	t.Helper()
 	resp, err := m.Complete(llm.Request{
 		Model:       m.Profile().Name,
 		Messages:    []llm.Message{{Role: llm.RoleUser, Content: prompt}},
 		Temperature: temp,
+		Seed:        seed,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -96,10 +103,14 @@ func TestOneShotVariesAtHighTemperature(t *testing.T) {
 	p := oneShotPrompt(db, "A total of x fatalities between 2000 and 2014 were recorded across all airlines.")
 	seen := map[string]bool{}
 	for i := 0; i < 40; i++ {
-		seen[complete(t, m, p, 0.9)] = true
+		seen[completeSeeded(t, m, p, 0.9, int64(i))] = true
 	}
 	if len(seen) < 2 {
 		t.Error("high-temperature completions never vary")
+	}
+	// The same seed must reproduce the same sample.
+	if completeSeeded(t, m, p, 0.9, 5) != completeSeeded(t, m, p, 0.9, 5) {
+		t.Error("equal seeds produced different samples")
 	}
 }
 
@@ -109,7 +120,7 @@ func TestUnmaskedCheat(t *testing.T) {
 	cheats := 0
 	for i := 0; i < 30; i++ {
 		p := oneShotPrompt(db, "Malaysia Airlines recorded 2 fatal accidents between 2000 and 2014.")
-		content := complete(t, m, p, 0.9)
+		content := completeSeeded(t, m, p, 0.9, int64(i))
 		sql, ok := prompts.ExtractSQL(content)
 		if !ok {
 			continue

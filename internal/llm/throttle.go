@@ -1,0 +1,32 @@
+package llm
+
+import "time"
+
+// Throttled wraps a Client and sleeps a scaled fraction of each response's
+// simulated latency before returning it. The simulated models compute
+// per-call latency (see Pricing.Latency) but return instantly; production
+// LLM APIs do not. Throttled restores that wait, so worker-pool speedups can
+// be measured as real wall-clock gains: with N workers, N calls' latencies
+// overlap instead of accumulating — exactly the effect claim-level
+// parallelism buys against a network-bound provider.
+type Throttled struct {
+	// Client is the underlying completion provider.
+	Client Client
+	// Scale multiplies the simulated latency before sleeping; 1.0 sleeps
+	// the full simulated wall time, 0.001 compresses seconds to
+	// milliseconds (useful in benchmarks). Zero or negative disables the
+	// sleep, making Throttled a no-op wrapper.
+	Scale float64
+}
+
+// Complete implements Client.
+func (t *Throttled) Complete(req Request) (Response, error) {
+	resp, err := t.Client.Complete(req)
+	if err != nil {
+		return resp, err
+	}
+	if t.Scale > 0 && resp.Latency > 0 {
+		time.Sleep(time.Duration(float64(resp.Latency) * t.Scale))
+	}
+	return resp, nil
+}

@@ -114,7 +114,7 @@ type failingMethod struct{}
 
 func (failingMethod) Name() string      { return "failing" }
 func (failingMethod) ModelName() string { return "none" }
-func (failingMethod) Translate(*claim.Claim, *sqldb.Database, *verify.Sample, float64) (string, error) {
+func (failingMethod) Translate(*claim.Claim, *sqldb.Database, verify.Invocation) (string, error) {
 	return "", errors.New("nope")
 }
 

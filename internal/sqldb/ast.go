@@ -11,6 +11,37 @@ type Expr interface {
 	SQL() string
 }
 
+// quoteIdent renders an identifier in double quotes, doubling embedded
+// quote characters so the result re-lexes to the same identifier.
+func quoteIdent(name string) string {
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+// bareOrQuoted renders positions that are conventionally unquoted (table
+// aliases, star qualifiers) bare when the name lexes as a plain identifier
+// token, falling back to quoting otherwise.
+func bareOrQuoted(name string) string {
+	if isBareIdent(name) {
+		return name
+	}
+	return quoteIdent(name)
+}
+
+func isBareIdent(name string) bool {
+	if name == "" || keywords[strings.ToUpper(name)] {
+		return false
+	}
+	for i, r := range name {
+		if i == 0 && !isIdentStart(r) {
+			return false
+		}
+		if i > 0 && !isIdentPart(r) {
+			return false
+		}
+	}
+	return true
+}
+
 // LiteralExpr is a constant value.
 type LiteralExpr struct{ Val Value }
 
@@ -32,9 +63,9 @@ type ColumnExpr struct {
 // SQL implements Expr.
 func (e *ColumnExpr) SQL() string {
 	if e.Table != "" {
-		return fmt.Sprintf("\"%s\".\"%s\"", e.Table, e.Name)
+		return quoteIdent(e.Table) + "." + quoteIdent(e.Name)
 	}
-	return fmt.Sprintf("\"%s\"", e.Name)
+	return quoteIdent(e.Name)
 }
 
 // StarExpr is the * projection (optionally table-qualified).
@@ -43,7 +74,7 @@ type StarExpr struct{ Table string }
 // SQL implements Expr.
 func (e *StarExpr) SQL() string {
 	if e.Table != "" {
-		return e.Table + ".*"
+		return bareOrQuoted(e.Table) + ".*"
 	}
 	return "*"
 }
@@ -280,19 +311,19 @@ func (s *SelectStmt) SQL() string {
 		}
 		b.WriteString(it.Expr.SQL())
 		if it.Alias != "" {
-			b.WriteString(" AS \"" + it.Alias + "\"")
+			b.WriteString(" AS " + quoteIdent(it.Alias))
 		}
 	}
 	if s.From != nil {
-		fmt.Fprintf(&b, " FROM \"%s\"", s.From.Name)
+		b.WriteString(" FROM " + quoteIdent(s.From.Name))
 		if s.From.Alias != "" {
-			b.WriteString(" " + s.From.Alias)
+			b.WriteString(" " + bareOrQuoted(s.From.Alias))
 		}
 	}
 	for _, j := range s.Joins {
-		fmt.Fprintf(&b, " %s JOIN \"%s\"", j.Kind, j.Table.Name)
+		fmt.Fprintf(&b, " %s JOIN %s", j.Kind, quoteIdent(j.Table.Name))
 		if j.Table.Alias != "" {
-			b.WriteString(" " + j.Table.Alias)
+			b.WriteString(" " + bareOrQuoted(j.Table.Alias))
 		}
 		if j.On != nil {
 			b.WriteString(" ON " + j.On.SQL())

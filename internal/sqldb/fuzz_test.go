@@ -24,6 +24,14 @@ func FuzzParse(f *testing.F) {
 		 a FROM t;`,
 		"SELECT `tick` FROM `t`",
 		`SELECT a FROM t WHERE b IS NOT NULL AND NOT c`,
+		// Shapes the verification prompt template elicits from the models
+		// (see internal/prompts): percentage claims as a ratio of counting
+		// subqueries, aggregates over joins, and correlated filters.
+		`SELECT (SELECT COUNT(a) FROM t WHERE b = 1) * 100.0 / (SELECT COUNT(a) FROM t)`,
+		`SELECT SUM(t1.b) FROM t1 JOIN t2 ON t1.k = t2.k WHERE t2.region = 'EU'`,
+		`SELECT COUNT(*) FROM orders o JOIN items i ON o.id = i.order_id GROUP BY o.id HAVING SUM(i.qty) > 10`,
+		`SELECT AVG(v) FROM t WHERE k IN (SELECT k FROM u WHERE u.flag = 1)`,
+		`SELECT (SELECT COUNT(x) FROM t WHERE y = 'a' AND z = 'b') * 100.0 / (SELECT COUNT(x) FROM t WHERE z = 'b')`,
 		`)(*&^%$#@!`,
 		`SELECT`,
 		``,
@@ -72,5 +80,56 @@ func FuzzQuery(f *testing.F) {
 			return
 		}
 		_ = res.String()
+	})
+}
+
+// FuzzParseAndExec separates the two stages FuzzQuery fuses: whatever Parse
+// accepts must execute against a small multi-table catalog without panicking,
+// and the statement's rendered SQL must execute to the same rows — so the
+// parse/render/execute triangle stays consistent on fuzzer-mangled inputs.
+func FuzzParseAndExec(f *testing.F) {
+	db := NewDatabase("catalog")
+	airlines := NewTable("airlines", "airline", "region", "fatal_accidents")
+	airlines.MustAppendRow(Text("Aer Lingus"), Text("EU"), Int(0))
+	airlines.MustAppendRow(Text("Malaysia Airlines"), Text("ASIA"), Int(2))
+	airlines.MustAppendRow(Text("Qantas"), Null(), Int(0))
+	db.AddTable(airlines)
+	regions := NewTable("regions", "region", "population")
+	regions.MustAppendRow(Text("EU"), Float(744.7))
+	regions.MustAppendRow(Text("ASIA"), Float(4561.0))
+	db.AddTable(regions)
+
+	seeds := []string{
+		`SELECT COUNT(*) FROM airlines WHERE fatal_accidents = 0`,
+		`SELECT (SELECT COUNT(airline) FROM airlines WHERE region = 'EU') * 100.0 / (SELECT COUNT(airline) FROM airlines)`,
+		`SELECT SUM(a.fatal_accidents) FROM airlines a JOIN regions r ON a.region = r.region WHERE r.population > 1000`,
+		`SELECT airline FROM airlines WHERE region IN (SELECT region FROM regions WHERE population < 1000)`,
+		`SELECT MAX(population) - MIN(population) FROM regions`,
+		`SELECT r.region, COUNT(*) FROM airlines a JOIN regions r ON a.region = r.region GROUP BY r.region ORDER BY 2 DESC`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 500 || strings.Count(src, "JOIN") > 3 {
+			return // bound worst-case cross products
+		}
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		res, err := Exec(db, stmt)
+		if err != nil {
+			return // semantic rejection is fine; panics are not
+		}
+		rendered := stmt.SQL()
+		res2, err := Query(db, rendered)
+		if err != nil {
+			t.Fatalf("rendered SQL fails to execute:\ninput:    %q\nrendered: %q\nerr: %v", src, rendered, err)
+		}
+		if res.String() != res2.String() {
+			t.Fatalf("rendered SQL changes the result:\ninput:    %q\nrendered: %q\ngot:  %s\nwant: %s",
+				src, rendered, res2.String(), res.String())
+		}
 	})
 }

@@ -121,6 +121,11 @@ func (l *lexer) lexQuotedIdent(quote byte) error {
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
 		if c == quote {
+			if l.peek(1) == quote { // doubled quote character: escape
+				b.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
 			l.pos++
 			l.toks = append(l.toks, token{kind: tokQuotedIdent, val: b.String(), pos: start})
 			return nil

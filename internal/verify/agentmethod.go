@@ -2,9 +2,8 @@ package verify
 
 import (
 	"fmt"
-	"math/rand"
+	"strconv"
 	"strings"
-	"sync"
 
 	"repro/internal/agent"
 	"repro/internal/claim"
@@ -16,17 +15,19 @@ import (
 // Agent is the iterative verification method of Algorithm 6: a ReAct agent
 // with two tools — unique_column_values and database_querying — whose
 // logged queries are recomposed into one SQL query by the reconstruction
-// post-processing of Algorithm 9.
+// post-processing of Algorithm 9. An Agent holds no mutable state (retry
+// nonces are derived from the invocation seed, not a shared stream), so one
+// instance serves concurrent claims without any ordering effects.
 type Agent struct {
 	Client llm.Client
 	Model  string
 	Label  string
 	Mask   bool
+	// Seed distinguishes agent instances: two agents with different seeds
+	// sample different retry trajectories for the same claim.
+	Seed int64
 	// MaxIters caps agent iterations per claim.
 	MaxIters int
-
-	mu  sync.Mutex
-	rng *rand.Rand
 }
 
 // NewAgent constructs the method with masking enabled.
@@ -37,7 +38,7 @@ func NewAgent(client llm.Client, model, label string, seed int64) *Agent {
 		Label:    label,
 		Mask:     true,
 		MaxIters: 8,
-		rng:      rand.New(rand.NewSource(seed)),
+		Seed:     seed,
 	}
 }
 
@@ -48,21 +49,22 @@ func (a *Agent) Name() string { return a.Label }
 func (a *Agent) ModelName() string { return a.Model }
 
 // Translate implements Method.
-func (a *Agent) Translate(c *claim.Claim, db *sqldb.Database, sample *Sample, temperature float64) (string, error) {
+func (a *Agent) Translate(c *claim.Claim, db *sqldb.Database, inv Invocation) (string, error) {
 	claimText, ctx := baseInputs(c, db, a.Mask)
 	sampleBlock := ""
-	if sample != nil {
-		sampleBlock = prompts.Sample(sample.MaskedClaim, sample.Query)
+	if inv.Sample != nil {
+		sampleBlock = prompts.Sample(inv.Sample.MaskedClaim, inv.Sample.Query)
 	}
 	base := prompts.Agent(claimText, c.ValueType(), db.Schema(), sampleBlock, ctx)
 	// A per-run nonce makes retries at temperature > 0 sample different
 	// agent trajectories while temperature 0 stays deterministic.
-	base = fmt.Sprintf("Run: %s\n%s", a.nonce(temperature), base)
+	base = fmt.Sprintf("Run: %s\n%s", a.nonce(inv), base)
 
 	runner := &agent.Runner{
 		Client:        a.Client,
 		Model:         a.Model,
-		Temperature:   temperature,
+		Temperature:   inv.Temperature,
+		Seed:          llm.SplitSeed(a.Seed, "conversation", strconv.FormatInt(inv.Seed, 16)),
 		MaxIters:      a.MaxIters,
 		QueryToolName: prompts.ToolQuery,
 	}
@@ -79,13 +81,15 @@ func (a *Agent) Translate(c *claim.Claim, db *sqldb.Database, sample *Sample, te
 	return Reconstruct(trace.Queries, db), nil
 }
 
-func (a *Agent) nonce(temperature float64) string {
-	if temperature <= 0 {
+// nonce derives the per-run prompt marker. Temperature 0 keeps the fixed
+// nonce so identical prompts stay identical (and cacheable); seeded retries
+// get a nonce split from the agent seed and the invocation seed, so each
+// (claim, try) samples its own trajectory no matter how attempts interleave.
+func (a *Agent) nonce(inv Invocation) string {
+	if inv.Temperature <= 0 {
 		return "0"
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return fmt.Sprintf("%d", a.rng.Int63())
+	return strconv.FormatUint(uint64(llm.SplitSeed(a.Seed, "nonce", strconv.FormatInt(inv.Seed, 16))), 16)
 }
 
 // tools builds the two agent tools over the claim's database. The querying

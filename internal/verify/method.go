@@ -16,6 +16,21 @@ type Sample struct {
 	Query       string
 }
 
+// Invocation bundles the per-attempt inputs of one method invocation.
+type Invocation struct {
+	// Sample is an optional few-shot example (nil on harvest passes).
+	Sample *Sample
+	// Temperature controls model randomization so retries can differ
+	// (Section 7.1 uses 0 first, then 0.25/0.5).
+	Temperature float64
+	// Seed identifies this attempt for sampling. The pipeline derives it
+	// from (document ID, claim index, method name, try number) via
+	// llm.SplitSeed, which makes temperature > 0 attempts reproducible
+	// independent of execution order — the keystone of deterministic
+	// claim-level parallelism. Ignored at temperature 0.
+	Seed int64
+}
+
 // Method is one verification approach instantiated with a specific model —
 // one point in CEDAR's method space (one-shot or agent, times model tier).
 type Method interface {
@@ -24,17 +39,23 @@ type Method interface {
 	// ModelName is the underlying model identifier (for cost accounting).
 	ModelName() string
 	// Translate attempts to produce a SQL query representing the claim.
-	// sample may be nil. The temperature controls model randomization so
-	// retries can differ (Section 7.1 uses 0 first, then 0.25/0.5).
-	Translate(c *claim.Claim, db *sqldb.Database, sample *Sample, temperature float64) (string, error)
+	Translate(c *claim.Claim, db *sqldb.Database, inv Invocation) (string, error)
 }
 
-// Attempt applies one method invocation to one claim, implementing the body
-// of Algorithm 2's loop: translate, gate with CorrectQuery, and on success
-// validate with CorrectClaim and record the outcome on the claim.
+// Attempt applies one unseeded method invocation to one claim — the
+// convenience form used by profiling and ablations, where temperature-0
+// determinism makes seeds irrelevant.
 func Attempt(m Method, c *claim.Claim, db *sqldb.Database, sample *Sample, temperature float64) bool {
+	return AttemptWith(m, c, db, Invocation{Sample: sample, Temperature: temperature})
+}
+
+// AttemptWith applies one method invocation to one claim, implementing the
+// body of Algorithm 2's loop: translate, gate with CorrectQuery, and on
+// success validate with CorrectClaim and record the outcome on the claim.
+// It mutates only c, so concurrent attempts on distinct claims are safe.
+func AttemptWith(m Method, c *claim.Claim, db *sqldb.Database, inv Invocation) bool {
 	c.Result.Attempts++
-	query, err := m.Translate(c, db, sample, temperature)
+	query, err := m.Translate(c, db, inv)
 	if err != nil {
 		return false
 	}
@@ -82,10 +103,11 @@ func usageError(m Method, err error) error {
 }
 
 // singleTurn invokes the model once with a user prompt.
-func singleTurn(client llm.Client, model, prompt string, temperature float64) (llm.Response, error) {
+func singleTurn(client llm.Client, model, prompt string, inv Invocation) (llm.Response, error) {
 	return client.Complete(llm.Request{
 		Model:       model,
 		Messages:    []llm.Message{{Role: llm.RoleUser, Content: prompt}},
-		Temperature: temperature,
+		Temperature: inv.Temperature,
+		Seed:        inv.Seed,
 	})
 }

@@ -36,14 +36,14 @@ func (o *OneShot) Name() string { return o.Label }
 func (o *OneShot) ModelName() string { return o.Model }
 
 // Translate implements Method.
-func (o *OneShot) Translate(c *claim.Claim, db *sqldb.Database, sample *Sample, temperature float64) (string, error) {
+func (o *OneShot) Translate(c *claim.Claim, db *sqldb.Database, inv Invocation) (string, error) {
 	claimText, ctx := baseInputs(c, db, o.Mask)
 	sampleBlock := ""
-	if sample != nil {
-		sampleBlock = prompts.Sample(sample.MaskedClaim, sample.Query)
+	if inv.Sample != nil {
+		sampleBlock = prompts.Sample(inv.Sample.MaskedClaim, inv.Sample.Query)
 	}
 	prompt := prompts.OneShot(claimText, c.ValueType(), db.Schema(), sampleBlock, ctx)
-	resp, err := singleTurn(o.Client, o.Model, prompt, temperature)
+	resp, err := singleTurn(o.Client, o.Model, prompt, inv)
 	if err != nil {
 		return "", usageError(o, err)
 	}

@@ -506,11 +506,20 @@ func TestMakeSampleAndModelNames(t *testing.T) {
 func TestAgentNonceVariesAtTemperature(t *testing.T) {
 	_, _, agent4o, _, _ := newMethodSet(t, 71)
 	a := agent4o.(*Agent)
-	if a.nonce(0) != "0" || a.nonce(0) != "0" {
+	if a.nonce(Invocation{}) != "0" || a.nonce(Invocation{Temperature: 0, Seed: 9}) != "0" {
 		t.Error("temperature-0 nonce must be constant")
 	}
-	if a.nonce(0.5) == a.nonce(0.5) {
-		t.Error("positive-temperature nonces must vary")
+	hot := func(seed int64) string { return a.nonce(Invocation{Temperature: 0.5, Seed: seed}) }
+	if hot(1) == hot(2) {
+		t.Error("distinct invocation seeds must yield distinct nonces")
+	}
+	if hot(1) != hot(1) {
+		t.Error("equal invocation seeds must yield equal nonces")
+	}
+	b := *a
+	b.Seed = a.Seed + 1
+	if hot(1) == b.nonce(Invocation{Temperature: 0.5, Seed: 1}) {
+		t.Error("distinct agent seeds must yield distinct nonces")
 	}
 }
 
