@@ -1,13 +1,14 @@
 # Development targets for the CEDAR reproduction. `make check` is the full
 # verification gate: build, vet, the complete test suite under the race
-# detector, and a short fuzz smoke over the SQL parser/executor.
+# detector, the chaos suite (fault injection + resilience middleware), and a
+# short fuzz smoke over the SQL parser/executor.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build vet test race fuzz-smoke bench
+.PHONY: check build vet test race chaos fuzz-smoke bench
 
-check: build vet race fuzz-smoke
+check: build vet race chaos fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Race-mode pass over the fault-injection and resilience suites: the chaos
+# determinism matrix, the breaker state machine (unit + 32-goroutine
+# stress), retrier/hedge accounting, and the failed-attempt billing fixes.
+chaos:
+	$(GO) test -race -run 'Chaos|Breaker|Retrier|Hedge|Fault|Throttled|Metered|Resilience' \
+		./internal/core ./internal/llm/resilience ./internal/llm ./cedar
 
 # Each fuzz target gets a short exploratory burst on top of its seed corpus
 # (the seeds alone already run as part of `go test`).

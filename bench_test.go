@@ -17,6 +17,7 @@ import (
 	"repro/internal/embed"
 	"repro/internal/exp"
 	"repro/internal/llm"
+	"repro/internal/llm/resilience"
 	"repro/internal/llm/sim"
 	"repro/internal/profile"
 	"repro/internal/schedule"
@@ -463,6 +464,76 @@ func BenchmarkVerifyParallel(b *testing.B) {
 				b.StartTimer()
 				p.VerifyDocumentsParallel(docs, workers)
 			}
+		})
+	}
+}
+
+// BenchmarkVerifyFaulty measures throughput under a hostile provider: the
+// same wait-bound stack as BenchmarkVerifyParallel (latency compressed
+// 1000x), but with deterministic fault injection under the throttle and a
+// retrier above it, at 8 workers. Because Throttled charges failed attempts
+// their latency, the slowdown at higher fault rates is the honest price of
+// retried and rate-limited calls occupying the wire.
+func BenchmarkVerifyFaulty(b *testing.B) {
+	const latencyScale = 1e-3
+	base, err := data.AggChecker(benchSeed + 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	profDocs, err := data.AggChecker(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rate := range []float64{0, 0.2, 0.5} {
+		b.Run(fmt.Sprintf("fault-rate-%v", rate), func(b *testing.B) {
+			ledger := llm.NewLedger()
+			client := func(model string) llm.Client {
+				m, err := sim.New(model, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var c llm.Client = m
+				if rate > 0 {
+					c = &resilience.Faulty{
+						Client: c,
+						Plan:   resilience.Plan{Seed: llm.SplitSeed(benchSeed, "faults", model), Rate: rate},
+					}
+				}
+				c = &llm.Metered{Client: &llm.Throttled{Client: c, Scale: latencyScale}, Ledger: ledger}
+				return &resilience.Retrier{
+					Client:      c,
+					MaxAttempts: 3,
+					Seed:        llm.SplitSeed(benchSeed, "retry", model),
+				}
+			}
+			methods := []verify.Method{
+				verify.NewOneShot(client(llm.ModelGPT35), llm.ModelGPT35, exp.MethodOneShot35),
+				verify.NewOneShot(client(llm.ModelGPT4o), llm.ModelGPT4o, exp.MethodOneShot4o),
+				verify.NewAgent(client(llm.ModelGPT4o), llm.ModelGPT4o, exp.MethodAgent4o, benchSeed),
+				verify.NewAgent(client(llm.ModelGPT41), llm.ModelGPT41, exp.MethodAgent41, benchSeed+1),
+			}
+			stats, err := profile.Run(methods, profDocs[:6], ledger, profile.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.New(core.Config{
+				Methods:        methods,
+				Stats:          stats,
+				AccuracyTarget: 0.99,
+				Seed:           benchSeed,
+				Workers:        8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				docs := claim.CloneDocuments(base)
+				b.StartTimer()
+				p.VerifyDocumentsParallel(docs, 8)
+			}
+			b.ReportMetric(float64(claim.TotalClaims(base))/b.Elapsed().Seconds()*float64(b.N), "claims/s")
 		})
 	}
 }

@@ -23,11 +23,13 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/claim"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/llm"
+	"repro/internal/llm/resilience"
 	"repro/internal/llm/sim"
 	"repro/internal/metrics"
 	"repro/internal/profile"
@@ -87,6 +89,29 @@ type Options struct {
 	// off (Seed, document, claim, method, try), never from shared state —
 	// so parallelism only changes wall-clock time.
 	Workers int
+
+	// Retries, when positive, retries each failed retryable model call up to
+	// Retries additional times with capped exponential backoff and
+	// deterministic seeded jitter (see internal/llm/resilience).
+	Retries int
+	// Timeout, when positive, bounds one logical call's simulated wall time
+	// across retries; exceeding it fails the call with a timeout error.
+	Timeout time.Duration
+	// HedgeAfter, when positive, races a backup completion once the primary
+	// exceeds this simulated latency; the faster result wins and both are
+	// billed (tail-latency insurance costs tokens).
+	HedgeAfter time.Duration
+	// BreakerThreshold, when positive, installs a per-model circuit breaker
+	// that trips open after this many consecutive failures and sheds calls
+	// so the scheduler degrades to the next-cheapest method. The breaker's
+	// shared state is order-dependent: enabling it gives up across-worker-
+	// count bit-determinism in exchange for load shedding (DESIGN.md §9).
+	BreakerThreshold int
+	// FaultRate, when positive, injects deterministic transport failures
+	// into every model call at this per-attempt probability — the chaos-
+	// testing knob. Faults derive from (Seed, request identity), so a faulty
+	// run reproduces exactly at any worker count.
+	FaultRate float64
 }
 
 // System is a configured CEDAR instance.
@@ -94,6 +119,7 @@ type System struct {
 	opts    Options
 	methods []verify.Method
 	ledger  *llm.Ledger
+	res     *metrics.Resilience
 	stats   []schedule.MethodStats
 	pipe    *core.Pipeline
 }
@@ -113,15 +139,44 @@ func New(opts Options) (*System, error) {
 		return nil, fmt.Errorf("cedar: accuracy target %v outside (0, 1]", opts.AccuracyTarget)
 	}
 	ledger := llm.NewLedger()
+	res := &metrics.Resilience{}
+	// Middleware order, inner to outer: sim → Faulty → Metered → Cached →
+	// Hedged → Retrier → Breaker. Faults sit inside the meter so failed
+	// attempts are billed; the retrier sits outside the cache and hedger so
+	// each retry is a full fresh call; the breaker is outermost so it counts
+	// logical (post-retry) failures and its sheds never reach the retrier.
 	client := func(model string) (llm.Client, error) {
 		m, err := sim.New(model, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
-		var c llm.Client = &llm.Metered{Client: m, Ledger: ledger}
+		var c llm.Client = m
+		if opts.FaultRate > 0 {
+			c = &resilience.Faulty{
+				Client:  c,
+				Plan:    resilience.Plan{Seed: llm.SplitSeed(opts.Seed, "faults", model), Rate: opts.FaultRate},
+				Metrics: res,
+			}
+		}
+		c = &llm.Metered{Client: c, Ledger: ledger}
 		if opts.CacheResponses {
 			// The cache sits outside the meter so hits are free.
 			c = llm.NewCached(c, 0)
+		}
+		if opts.HedgeAfter > 0 {
+			c = &resilience.Hedged{Client: c, After: opts.HedgeAfter, Metrics: res}
+		}
+		if opts.Retries > 0 || opts.Timeout > 0 {
+			c = &resilience.Retrier{
+				Client:      c,
+				MaxAttempts: opts.Retries + 1,
+				Deadline:    opts.Timeout,
+				Seed:        llm.SplitSeed(opts.Seed, "retry", model),
+				Metrics:     res,
+			}
+		}
+		if opts.BreakerThreshold > 0 {
+			c = &resilience.Breaker{Client: c, FailureThreshold: opts.BreakerThreshold, Metrics: res}
 		}
 		return c, nil
 	}
@@ -140,6 +195,7 @@ func New(opts Options) (*System, error) {
 	return &System{
 		opts:   opts,
 		ledger: ledger,
+		res:    res,
 		methods: []verify.Method{
 			verify.NewOneShot(c35, ModelGPT35, "oneshot-gpt3.5"),
 			verify.NewOneShot(c4o, ModelGPT4o, "oneshot-gpt4o"),
@@ -183,6 +239,11 @@ func (s *System) SetStats(stats []schedule.MethodStats) error {
 
 // Stats returns the current profiling statistics (nil before ProfileOn).
 func (s *System) Stats() []schedule.MethodStats { return s.stats }
+
+// Resilience snapshots the operational counters of the resilience middleware
+// (attempts, retries, injected faults, hedges, breaker activity) accumulated
+// since the system was built.
+func (s *System) Resilience() metrics.ResilienceSnapshot { return s.res.Snapshot() }
 
 // Schedule describes the planned verification schedule.
 func (s *System) Schedule() string {

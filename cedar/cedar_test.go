@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestEndToEndPublicAPI(t *testing.T) {
@@ -281,5 +282,103 @@ func TestWorkersOption(t *testing.T) {
 				t.Fatalf("claim %s unannotated", c.ID)
 			}
 		}
+	}
+}
+
+// TestResilienceOptions runs the public API under injected faults with
+// retries and hedging: the run must complete with every claim annotated,
+// identical reports at workers 1 and 8, and live resilience counters.
+func TestResilienceOptions(t *testing.T) {
+	verifyAt := func(workers int) (Report, []*Document, *System) {
+		sys, err := New(Options{
+			Seed:           51,
+			AccuracyTarget: 0.99,
+			Workers:        workers,
+			FaultRate:      0.2,
+			Retries:        2,
+			Timeout:        5 * time.Minute,
+			HedgeAfter:     2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		profDocs, err := Benchmark(BenchAggChecker, 1010)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.ProfileOn(profDocs[:6]); err != nil {
+			t.Fatal(err)
+		}
+		docs, err := Benchmark(BenchAggChecker, 1011)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = docs[:10]
+		rep, err := sys.Verify(docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, docs, sys
+	}
+
+	seq, seqDocs, sys := verifyAt(1)
+	if seq.Verified == 0 {
+		t.Fatal("nothing verified under 20% faults with retries")
+	}
+	snap := sys.Resilience()
+	if snap.Faults == 0 || snap.Attempts == 0 {
+		t.Errorf("resilience counters dead: %v", snap)
+	}
+	if snap.Retries == 0 {
+		t.Errorf("20%% faults with retries enabled should retry at least once: %v", snap)
+	}
+	for _, d := range seqDocs {
+		for _, c := range d.Claims {
+			if c.Result.Method == "" {
+				t.Fatalf("claim %s lost under faults", c.ID)
+			}
+		}
+	}
+
+	par, parDocs, _ := verifyAt(8)
+	if par != seq {
+		t.Errorf("faulty run differs across worker counts:\n workers=8 %+v\n workers=1 %+v", par, seq)
+	}
+	for i, d := range parDocs {
+		for j, c := range d.Claims {
+			if c.Result != seqDocs[i].Claims[j].Result {
+				t.Errorf("claim %s result differs across worker counts:\n got %+v\nwant %+v",
+					c.ID, c.Result, seqDocs[i].Claims[j].Result)
+			}
+		}
+	}
+}
+
+// A breaker threshold alone (no faults) must not perturb a healthy run.
+func TestBreakerOptionHealthyRun(t *testing.T) {
+	sys, err := New(Options{Seed: 52, AccuracyTarget: 0.9, BreakerThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profDocs, err := Benchmark(BenchAggChecker, 1012)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ProfileOn(profDocs[:6]); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := Benchmark(BenchAggChecker, 1013)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Verify(docs[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified == 0 {
+		t.Error("healthy run with breaker verified nothing")
+	}
+	if snap := sys.Resilience(); snap.BreakerTrips != 0 || snap.BreakerSheds != 0 {
+		t.Errorf("breaker acted on a healthy provider: %v", snap)
 	}
 }

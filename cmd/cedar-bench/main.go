@@ -71,7 +71,21 @@ func main() {
 	seed := flag.Int64("seed", 17, "random seed (runs are fully reproducible per seed)")
 	workers := flag.Int("workers", 1, "concurrent claim verifications; results are identical for any value")
 	asCSV := flag.Bool("csv", false, "emit CSV series instead of formatted text")
+	retries := flag.Int("retries", 0, "retry failed retryable model calls up to N additional times")
+	timeout := flag.Duration("timeout", 0, "per-call simulated deadline across retries; 0 disables")
+	hedge := flag.Duration("hedge", 0, "race a backup model call after this simulated latency; 0 disables")
+	breaker := flag.Int("breaker", 0, "per-model circuit breaker threshold; 0 disables")
+	faultRate := flag.Float64("fault-rate", 0, "inject deterministic transport faults at this per-attempt probability")
 	flag.Parse()
+	// Experiment drivers build their stacks internally via exp.NewStack, so
+	// the resilience knobs travel through the package default.
+	exp.DefaultResilience = exp.ResilienceOptions{
+		FaultRate:        *faultRate,
+		Retries:          *retries,
+		Timeout:          *timeout,
+		HedgeAfter:       *hedge,
+		BreakerThreshold: *breaker,
+	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)

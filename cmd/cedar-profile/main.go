@@ -21,12 +21,22 @@ import (
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 17, "random seed")
-		bench = flag.String("bench", cedar.BenchAggChecker, "benchmark to profile on")
-		nDocs = flag.Int("docs", 8, "number of profiling documents")
-		out   = flag.String("o", "", "write statistics to this JSON file (readable by cedar -stats)")
+		seed      = flag.Int64("seed", 17, "random seed")
+		bench     = flag.String("bench", cedar.BenchAggChecker, "benchmark to profile on")
+		nDocs     = flag.Int("docs", 8, "number of profiling documents")
+		out       = flag.String("o", "", "write statistics to this JSON file (readable by cedar -stats)")
+		retries   = flag.Int("retries", 0, "retry failed retryable model calls up to N additional times")
+		timeout   = flag.Duration("timeout", 0, "per-call simulated deadline across retries; 0 disables")
+		faultRate = flag.Float64("fault-rate", 0, "inject deterministic transport faults at this per-attempt probability")
 	)
 	flag.Parse()
+	// Profiling under faults shows how provider failures skew the estimated
+	// method statistics — the stack picks the knobs up via the exp default.
+	exp.DefaultResilience = exp.ResilienceOptions{
+		FaultRate: *faultRate,
+		Retries:   *retries,
+		Timeout:   *timeout,
+	}
 	if err := run(*seed, *bench, *nDocs, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-profile:", err)
 		os.Exit(1)

@@ -66,19 +66,60 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit results as JSON")
 		statsPath  = flag.String("stats", "", "profiling statistics JSON (from cedar-profile -o); skips built-in profiling")
 		htmlPath   = flag.String("html", "", "also write a demo-style HTML report to this file")
+		retries    = flag.Int("retries", 0, "retry failed retryable model calls up to N additional times (capped backoff, seeded jitter)")
+		timeout    = flag.Duration("timeout", 0, "per-call simulated deadline across retries (e.g. 30s); 0 disables")
+		hedge      = flag.Duration("hedge", 0, "race a backup model call once the primary exceeds this simulated latency; 0 disables")
+		breaker    = flag.Int("breaker", 0, "trip a per-model circuit breaker after N consecutive failures; 0 disables (order-dependent, see DESIGN.md §9)")
+		faultRate  = flag.Float64("fault-rate", 0, "inject deterministic transport faults at this per-attempt probability (chaos testing)")
 	)
 	flag.Parse()
 	if len(csvPaths) == 0 || *claimsPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(csvPaths, *tableName, *claimsPath, *target, *seed, *workers, *asJSON, *statsPath, *htmlPath); err != nil {
+	err := run(runOptions{
+		CSVPaths:   csvPaths,
+		TableName:  *tableName,
+		ClaimsPath: *claimsPath,
+		Target:     *target,
+		Seed:       *seed,
+		Workers:    *workers,
+		AsJSON:     *asJSON,
+		StatsPath:  *statsPath,
+		HTMLPath:   *htmlPath,
+		Retries:    *retries,
+		Timeout:    *timeout,
+		HedgeAfter: *hedge,
+		Breaker:    *breaker,
+		FaultRate:  *faultRate,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cedar:", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvPaths []string, tableName, claimsPath string, target float64, seed int64, workers int, asJSON bool, statsPath, htmlPath string) error {
+// runOptions carries the parsed command line into run.
+type runOptions struct {
+	CSVPaths   []string
+	TableName  string
+	ClaimsPath string
+	Target     float64
+	Seed       int64
+	Workers    int
+	AsJSON     bool
+	StatsPath  string
+	HTMLPath   string
+	Retries    int
+	Timeout    time.Duration
+	HedgeAfter time.Duration
+	Breaker    int
+	FaultRate  float64
+}
+
+func run(o runOptions) error {
+	csvPaths := o.CSVPaths
+	tableName := o.TableName
 	if tableName != "" && len(csvPaths) > 1 {
 		return fmt.Errorf("-table applies to a single -csv; multi-table databases name tables by file")
 	}
@@ -104,13 +145,13 @@ func run(csvPaths []string, tableName, claimsPath string, target float64, seed i
 		db.AddTable(table)
 	}
 
-	raw, err := os.ReadFile(claimsPath)
+	raw, err := os.ReadFile(o.ClaimsPath)
 	if err != nil {
 		return err
 	}
 	var inputs []claimInput
 	if err := json.Unmarshal(raw, &inputs); err != nil {
-		return fmt.Errorf("parsing %s: %w", claimsPath, err)
+		return fmt.Errorf("parsing %s: %w", o.ClaimsPath, err)
 	}
 	doc := &cedar.Document{ID: dbName, Domain: "cli", Data: db}
 	for i, in := range inputs {
@@ -124,12 +165,21 @@ func run(csvPaths []string, tableName, claimsPath string, target float64, seed i
 		doc.Claims = append(doc.Claims, c)
 	}
 
-	sys, err := cedar.New(cedar.Options{Seed: seed, AccuracyTarget: target, Workers: workers})
+	sys, err := cedar.New(cedar.Options{
+		Seed:             o.Seed,
+		AccuracyTarget:   o.Target,
+		Workers:          o.Workers,
+		Retries:          o.Retries,
+		Timeout:          o.Timeout,
+		HedgeAfter:       o.HedgeAfter,
+		BreakerThreshold: o.Breaker,
+		FaultRate:        o.FaultRate,
+	})
 	if err != nil {
 		return err
 	}
-	if statsPath != "" {
-		stats, err := profile.LoadStats(statsPath)
+	if o.StatsPath != "" {
+		stats, err := profile.LoadStats(o.StatsPath)
 		if err != nil {
 			return err
 		}
@@ -137,7 +187,7 @@ func run(csvPaths []string, tableName, claimsPath string, target float64, seed i
 			return err
 		}
 	} else {
-		profDocs, err := cedar.Benchmark(cedar.BenchAggChecker, seed+100)
+		profDocs, err := cedar.Benchmark(cedar.BenchAggChecker, o.Seed+100)
 		if err != nil {
 			return err
 		}
@@ -149,7 +199,7 @@ func run(csvPaths []string, tableName, claimsPath string, target float64, seed i
 	if err != nil {
 		return err
 	}
-	if htmlPath != "" {
+	if o.HTMLPath != "" {
 		page, err := report.Render([]*cedar.Document{doc}, report.Summary{
 			Schedule:    sys.Schedule(),
 			Dollars:     rep.Dollars,
@@ -159,13 +209,13 @@ func run(csvPaths []string, tableName, claimsPath string, target float64, seed i
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(htmlPath, page, 0o644); err != nil {
+		if err := os.WriteFile(o.HTMLPath, page, 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "report written to %s\n", htmlPath)
+		fmt.Fprintf(os.Stderr, "report written to %s\n", o.HTMLPath)
 	}
 
-	if asJSON {
+	if o.AsJSON {
 		var out []claimOutput
 		for _, c := range doc.Claims {
 			out = append(out, claimOutput{
@@ -193,5 +243,8 @@ func run(csvPaths []string, tableName, claimsPath string, target float64, seed i
 	}
 	fmt.Printf("\n%d claims, %d flagged incorrect, simulated cost $%.4f (%d model calls)\n",
 		rep.Claims, rep.Flagged, rep.Dollars, rep.Calls)
+	if o.Retries > 0 || o.Timeout > 0 || o.HedgeAfter > 0 || o.Breaker > 0 || o.FaultRate > 0 {
+		fmt.Printf("resilience: %v\n", sys.Resilience())
+	}
 	return nil
 }

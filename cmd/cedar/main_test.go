@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func writeFixtures(t *testing.T) (csvPath, claimsPath string) {
@@ -34,18 +35,34 @@ func writeFixtures(t *testing.T) (csvPath, claimsPath string) {
 	return csvPath, claimsPath
 }
 
+// opts builds a baseline runOptions for the shared fixtures.
+func opts(csvPaths []string, table, claimsPath string) runOptions {
+	return runOptions{
+		CSVPaths:   csvPaths,
+		TableName:  table,
+		ClaimsPath: claimsPath,
+		Target:     0.99,
+		Seed:       1,
+		Workers:    1,
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	csvPath, claimsPath := writeFixtures(t)
-	if err := run([]string{csvPath}, "airlines", claimsPath, 0.99, 1, 1, false, "", ""); err != nil {
+	if err := run(opts([]string{csvPath}, "airlines", claimsPath)); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// JSON output path and default table name derivation.
-	if err := run([]string{csvPath}, "", claimsPath, 0.9, 2, 2, true, "", ""); err != nil {
+	o := opts([]string{csvPath}, "", claimsPath)
+	o.Target, o.Seed, o.Workers, o.AsJSON = 0.9, 2, 2, true
+	if err := run(o); err != nil {
 		t.Fatalf("run json: %v", err)
 	}
 	// HTML report output.
 	htmlPath := filepath.Join(t.TempDir(), "report.html")
-	if err := run([]string{csvPath}, "airlines", claimsPath, 0.99, 1, 1, false, "", htmlPath); err != nil {
+	o = opts([]string{csvPath}, "airlines", claimsPath)
+	o.HTMLPath = htmlPath
+	if err := run(o); err != nil {
 		t.Fatalf("run html: %v", err)
 	}
 	page, err := os.ReadFile(htmlPath)
@@ -54,6 +71,20 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(string(page), "CEDAR verification report") {
 		t.Error("HTML report missing header")
+	}
+}
+
+// The resilience flags must thread through run: a chaos run with faults and
+// retries completes end to end.
+func TestRunWithResilienceKnobs(t *testing.T) {
+	csvPath, claimsPath := writeFixtures(t)
+	o := opts([]string{csvPath}, "airlines", claimsPath)
+	o.FaultRate = 0.2
+	o.Retries = 2
+	o.Timeout = 5 * time.Minute
+	o.HedgeAfter = 2 * time.Second
+	if err := run(o); err != nil {
+		t.Fatalf("run with faults+retries: %v", err)
 	}
 }
 
@@ -67,27 +98,30 @@ func TestRunWithStatsFile(t *testing.T) {
 	if err := os.WriteFile(statsPath, []byte(stats), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{csvPath}, "airlines", claimsPath, 0.99, 1, 1, false, statsPath, ""); err != nil {
+	o := opts([]string{csvPath}, "airlines", claimsPath)
+	o.StatsPath = statsPath
+	if err := run(o); err != nil {
 		t.Fatalf("run with stats: %v", err)
 	}
-	if err := run([]string{csvPath}, "airlines", claimsPath, 0.99, 1, 1, false, "/nonexistent-stats.json", ""); err == nil {
+	o.StatsPath = "/nonexistent-stats.json"
+	if err := run(o); err == nil {
 		t.Error("expected error for missing stats file")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	csvPath, claimsPath := writeFixtures(t)
-	if err := run([]string{"/nonexistent.csv"}, "t", claimsPath, 0.99, 1, 1, false, "", ""); err == nil {
+	if err := run(opts([]string{"/nonexistent.csv"}, "t", claimsPath)); err == nil {
 		t.Error("expected error for missing CSV")
 	}
-	if err := run([]string{csvPath}, "t", "/nonexistent.json", 0.99, 1, 1, false, "", ""); err == nil {
+	if err := run(opts([]string{csvPath}, "t", "/nonexistent.json")); err == nil {
 		t.Error("expected error for missing claims file")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{csvPath}, "t", bad, 0.99, 1, 1, false, "", ""); err == nil {
+	if err := run(opts([]string{csvPath}, "t", bad)); err == nil {
 		t.Error("expected error for malformed claims JSON")
 	}
 	// A claim whose value is absent from the sentence must be rejected.
@@ -96,7 +130,7 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(miss, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{csvPath}, "t", miss, 0.99, 1, 1, false, "", ""); err == nil {
+	if err := run(opts([]string{csvPath}, "t", miss)); err == nil {
 		t.Error("expected error for unlocatable claim value")
 	}
 }
@@ -114,11 +148,14 @@ func TestRunMultiTableCSV(t *testing.T) {
 		Value:    "2",
 	}})
 	os.WriteFile(claims, raw, 0o644)
-	if err := run([]string{airlines, safety}, "", claims, 0.99, 3, 2, false, "", ""); err != nil {
+	o := opts([]string{airlines, safety}, "", claims)
+	o.Seed, o.Workers = 3, 2
+	if err := run(o); err != nil {
 		t.Fatalf("multi-table run: %v", err)
 	}
 	// -table with multiple CSVs is rejected.
-	if err := run([]string{airlines, safety}, "t", claims, 0.99, 3, 2, false, "", ""); err == nil {
+	o.TableName = "t"
+	if err := run(o); err == nil {
 		t.Error("expected -table + multi-csv error")
 	}
 }

@@ -63,6 +63,12 @@ type Result struct {
 	Method string
 	// Attempts counts how many method invocations were spent on the claim.
 	Attempts int
+	// Failure names the transport-error class of the last failed attempt
+	// ("rate_limited", "timeout", "transient", "permanent", "circuit_open")
+	// so an unverified claim can be distinguished as "provider failed us"
+	// rather than "every translation was implausible". Empty for semantic
+	// failures and cleared by each new attempt.
+	Failure string
 	// Trace is a human-readable log of the last verification attempt: the
 	// model response for one-shot methods, the thought/action/observation
 	// transcript for agents (the Figure 4 view of the paper).

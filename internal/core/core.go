@@ -236,7 +236,15 @@ func (p *Pipeline) VerifyDocument(d *claim.Document) {
 		c.Result.Verified = false
 		c.Result.Correct = !c.Result.Executable
 		if c.Result.Method == "" {
-			c.Result.Method = "unverified"
+			// A recorded transport-failure class means the provider, not the
+			// translation, is why the claim went unverified: label it
+			// "failed" so operators can separate degraded claims from
+			// genuinely unverifiable ones.
+			if c.Result.Failure != "" {
+				c.Result.Method = "failed"
+			} else {
+				c.Result.Method = "unverified"
+			}
 		}
 	}
 }

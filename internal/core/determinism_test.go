@@ -8,6 +8,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/verify"
 )
 
 // runSnapshot captures everything a verification run produces that the
@@ -21,9 +22,18 @@ type runSnapshot struct {
 	calls   int
 }
 
+// stackBuilder constructs a method stack for a snapshot run; tests swap in
+// builders with fault-injecting or resilient middleware.
+type stackBuilder func(t testing.TB, seed int64) ([]verify.Method, *llm.Ledger)
+
 func snapshotRun(t *testing.T, seed int64, workers int, gen func() []*claim.Document, profDocs []*claim.Document) runSnapshot {
 	t.Helper()
-	methods, ledger := stack(t, seed)
+	return snapshotRunWith(t, seed, workers, gen, profDocs, stack)
+}
+
+func snapshotRunWith(t *testing.T, seed int64, workers int, gen func() []*claim.Document, profDocs []*claim.Document, build stackBuilder) runSnapshot {
+	t.Helper()
+	methods, ledger := build(t, seed)
 	stats, err := profile.Run(methods, profDocs, ledger, profile.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -61,9 +71,10 @@ func snapshotRun(t *testing.T, seed int64, workers int, gen func() []*claim.Docu
 // totals. Claim-level parallelism may only change wall-clock time.
 func TestVerifyDeterministicAcrossWorkerCounts(t *testing.T) {
 	cases := []struct {
-		name string
-		seed int64
-		gen  func(t *testing.T) ([]*claim.Document, []*claim.Document)
+		name  string
+		seed  int64
+		gen   func(t *testing.T) ([]*claim.Document, []*claim.Document)
+		build stackBuilder // nil = the plain stack
 	}{
 		{
 			name: "AggChecker",
@@ -91,18 +102,40 @@ func TestVerifyDeterministicAcrossWorkerCounts(t *testing.T) {
 				return normalized, profFlat[:6]
 			},
 		},
+		{
+			// PR 1's guarantee must survive the resilience middleware: a
+			// nonzero fault plan plus retries still yields bit-identical
+			// runs at any worker count, because faults and backoff jitter
+			// derive from request identity, never from arrival order.
+			name: "AggCheckerFaulted",
+			seed: 404,
+			gen: func(t *testing.T) ([]*claim.Document, []*claim.Document) {
+				docs, err := data.AggChecker(404)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return docs[8:20], docs[:8]
+			},
+			build: func(t testing.TB, seed int64) ([]verify.Method, *llm.Ledger) {
+				return resilientStack(t, seed, chaosKnobs{faultRate: 0.2, retries: 2})
+			},
+		},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			evalDocs, profDocs := tc.gen(t)
 			gen := func() []*claim.Document { return claim.CloneDocuments(evalDocs) }
-			base := snapshotRun(t, tc.seed, 1, gen, profDocs)
+			build := tc.build
+			if build == nil {
+				build = stack
+			}
+			base := snapshotRunWith(t, tc.seed, 1, gen, profDocs, build)
 			if len(base.results) == 0 {
 				t.Fatal("no claims verified in baseline run")
 			}
 			for _, workers := range []int{2, 8} {
-				got := snapshotRun(t, tc.seed, workers, gen, profDocs)
+				got := snapshotRunWith(t, tc.seed, workers, gen, profDocs, build)
 				if got.quality != base.quality {
 					t.Errorf("workers=%d quality %v != sequential %v", workers, got.quality, base.quality)
 				}

@@ -7,11 +7,13 @@ package exp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/claim"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/llm"
+	"repro/internal/llm/resilience"
 	"repro/internal/llm/sim"
 	"repro/internal/metrics"
 	"repro/internal/profile"
@@ -25,6 +27,9 @@ import (
 type Stack struct {
 	Methods []verify.Method
 	Ledger  *llm.Ledger
+	// Resilience accumulates operational counters from the resilience
+	// middleware when the stack was built with nontrivial ResilienceOptions.
+	Resilience *metrics.Resilience
 	// Workers bounds concurrent claim verification in pipeline runs; values
 	// < 2 run sequentially. Results are identical for any worker count (the
 	// splittable seeding of internal/core), so experiments may parallelize
@@ -42,15 +47,72 @@ const (
 	MethodAgent41   = "agent-gpt4.1"
 )
 
-// NewStack builds the method stack over fresh simulated models.
+// ResilienceOptions configure the optional resilience middleware of an
+// experiment stack, mirroring the knobs of cedar.Options.
+type ResilienceOptions struct {
+	// FaultRate injects deterministic transport failures at this per-attempt
+	// probability; 0 disables injection.
+	FaultRate float64
+	// Retries is the number of additional attempts per failed retryable call.
+	Retries int
+	// Timeout bounds one logical call's simulated wall time across retries.
+	Timeout time.Duration
+	// HedgeAfter races a backup completion once the primary exceeds this
+	// simulated latency.
+	HedgeAfter time.Duration
+	// BreakerThreshold trips a per-model circuit breaker after this many
+	// consecutive failures (order-dependent; see resilience.Breaker).
+	BreakerThreshold int
+}
+
+// DefaultResilience is applied by NewStack; the cedar-bench and
+// cedar-profile commands set it from their flags so every experiment driver
+// picks the knobs up without each driver threading them through.
+var DefaultResilience ResilienceOptions
+
+// NewStack builds the method stack over fresh simulated models, applying
+// DefaultResilience.
 func NewStack(seed int64) (*Stack, error) {
+	return NewStackResilient(seed, DefaultResilience)
+}
+
+// NewStackResilient builds the method stack with explicit resilience knobs.
+// Middleware order matches cedar.New: sim → Faulty → Metered → Hedged →
+// Retrier → Breaker (inner to outer), so failed attempts are billed and the
+// breaker sees logical post-retry outcomes.
+func NewStackResilient(seed int64, ro ResilienceOptions) (*Stack, error) {
 	ledger := llm.NewLedger()
+	res := &metrics.Resilience{}
 	client := func(model string) (llm.Client, error) {
 		m, err := sim.New(model, seed)
 		if err != nil {
 			return nil, err
 		}
-		return &llm.Metered{Client: m, Ledger: ledger}, nil
+		var c llm.Client = m
+		if ro.FaultRate > 0 {
+			c = &resilience.Faulty{
+				Client:  c,
+				Plan:    resilience.Plan{Seed: llm.SplitSeed(seed, "faults", model), Rate: ro.FaultRate},
+				Metrics: res,
+			}
+		}
+		c = &llm.Metered{Client: c, Ledger: ledger}
+		if ro.HedgeAfter > 0 {
+			c = &resilience.Hedged{Client: c, After: ro.HedgeAfter, Metrics: res}
+		}
+		if ro.Retries > 0 || ro.Timeout > 0 {
+			c = &resilience.Retrier{
+				Client:      c,
+				MaxAttempts: ro.Retries + 1,
+				Deadline:    ro.Timeout,
+				Seed:        llm.SplitSeed(seed, "retry", model),
+				Metrics:     res,
+			}
+		}
+		if ro.BreakerThreshold > 0 {
+			c = &resilience.Breaker{Client: c, FailureThreshold: ro.BreakerThreshold, Metrics: res}
+		}
+		return c, nil
 	}
 	c35, err := client(llm.ModelGPT35)
 	if err != nil {
@@ -72,7 +134,8 @@ func NewStack(seed int64) (*Stack, error) {
 			verify.NewAgent(c4o, llm.ModelGPT4o, MethodAgent4o, seed),
 			verify.NewAgent(c41, llm.ModelGPT41, MethodAgent41, seed+1),
 		},
-		Ledger: ledger,
+		Ledger:     ledger,
+		Resilience: res,
 	}, nil
 }
 

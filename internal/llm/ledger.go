@@ -141,11 +141,12 @@ type Metered struct {
 // Complete implements Client.
 func (m *Metered) Complete(req Request) (Response, error) {
 	resp, err := m.Client.Complete(req)
-	if err != nil {
-		return resp, err
-	}
-	if m.Ledger != nil {
+	// Failed attempts are billed when they cost something: a transient 5xx
+	// or timeout consumed the tokens even though the content is lost, and a
+	// 429 round trip still spent wall time. Only cost-free rejections (a
+	// zero Response, e.g. a shed from an open circuit breaker) go unbooked.
+	if m.Ledger != nil && (err == nil || resp.Usage.Total() > 0 || resp.Latency > 0) {
 		m.Ledger.Record(req.Model, resp.Usage, resp.Latency)
 	}
-	return resp, nil
+	return resp, err
 }

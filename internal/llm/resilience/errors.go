@@ -1,0 +1,69 @@
+// Package resilience hardens the llm.Client hot path against a hostile
+// provider. Real LLM APIs rate-limit, time out, and return transient
+// 5xx-class failures; this package supplies the transport-error taxonomy, a
+// deterministic fault injector for chaos testing, and composable client
+// middleware — Retrier (capped exponential backoff with seeded jitter and a
+// per-call deadline), Hedged (backup request racing), and Breaker (per-model
+// load shedding with closed/open/half-open states).
+//
+// Everything except the Breaker preserves CEDAR's determinism contract
+// (DESIGN.md §8): injected faults, backoff jitter, and hedge decisions are
+// all derived from the request's identity — (model, prompt, seed) plus an
+// attempt ordinal — never from wall clocks or shared random streams, so a
+// chaos run reproduces bit for bit at any worker count. The Breaker is the
+// deliberate exception: which calls it sheds depends on arrival order, the
+// price of genuine load shedding (see its doc comment).
+package resilience
+
+import "errors"
+
+// The transport-error taxonomy. Verification methods treat these as
+// provider-level failures (the claim was never actually attempted), distinct
+// from semantic failures like verify.ErrNoQuery.
+var (
+	// ErrRateLimited is the 429 class: the provider rejected the call before
+	// processing it, so no tokens were consumed.
+	ErrRateLimited = errors.New("resilience: rate limited (429)")
+	// ErrTimeout is a call that exceeded its deadline; the provider may have
+	// done the work, so the tokens are billed even though the content is lost.
+	ErrTimeout = errors.New("resilience: request timed out")
+	// ErrTransient is the retryable 5xx class: the provider failed after
+	// consuming the tokens.
+	ErrTransient = errors.New("resilience: transient provider failure (5xx)")
+	// ErrPermanent is the non-retryable 4xx class (bad request, content
+	// policy): retrying the identical call cannot succeed.
+	ErrPermanent = errors.New("resilience: permanent provider failure (4xx)")
+	// ErrCircuitOpen is returned by a Breaker shedding load; callers should
+	// degrade (try the next method) rather than retry the same model.
+	ErrCircuitOpen = errors.New("resilience: circuit open")
+)
+
+// Retryable reports whether retrying the call may help: true for rate
+// limits, timeouts, and transient failures; false for permanent failures,
+// open circuits, and errors outside the taxonomy (a semantic failure like an
+// unparseable completion is not a transport problem).
+func Retryable(err error) bool {
+	return errors.Is(err, ErrRateLimited) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrTransient)
+}
+
+// Classify maps an error to its taxonomy class name ("rate_limited",
+// "timeout", "transient", "permanent", "circuit_open"). The second result is
+// false for nil errors and errors outside the taxonomy, so callers can
+// distinguish transport failures from semantic ones through any %w wrapping.
+func Classify(err error) (string, bool) {
+	switch {
+	case err == nil:
+		return "", false
+	case errors.Is(err, ErrRateLimited):
+		return "rate_limited", true
+	case errors.Is(err, ErrTimeout):
+		return "timeout", true
+	case errors.Is(err, ErrTransient):
+		return "transient", true
+	case errors.Is(err, ErrPermanent):
+		return "permanent", true
+	case errors.Is(err, ErrCircuitOpen):
+		return "circuit_open", true
+	}
+	return "", false
+}

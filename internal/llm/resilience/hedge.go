@@ -1,0 +1,54 @@
+package resilience
+
+import (
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/metrics"
+)
+
+// Hedged wraps a Client and races a backup request when the primary is slow:
+// if the primary's simulated latency exceeds After, a second completion is
+// issued with an independent seed (llm.SplitSeed(req.Seed, "hedge")) and
+// whichever finishes first on the simulated timeline wins. The loser is
+// cancelled but its cost has already been paid — both attempts flow through
+// the metering layers below, which is exactly how hedging bills in
+// production (tail-latency insurance costs tokens).
+//
+// The race is adjudicated in simulated time, not wall time: the backup
+// starts at After, so it finishes at After + backup.Latency and beats the
+// primary iff that sum is smaller (or the primary failed outright). This
+// keeps hedge decisions a pure function of request identity, preserving the
+// determinism contract at any worker count.
+type Hedged struct {
+	// Client is the underlying completion provider.
+	Client llm.Client
+	// After is the latency threshold that triggers the backup request;
+	// <= 0 disables hedging.
+	After time.Duration
+	// Metrics, when non-nil, receives hedge counters.
+	Metrics *metrics.Resilience
+}
+
+// Complete implements llm.Client.
+func (h *Hedged) Complete(req llm.Request) (llm.Response, error) {
+	primary, perr := h.Client.Complete(req)
+	if h.After <= 0 || (perr == nil && primary.Latency <= h.After) {
+		return primary, perr
+	}
+	if h.Metrics != nil {
+		h.Metrics.Hedges.Add(1)
+	}
+	breq := req
+	breq.Seed = llm.SplitSeed(req.Seed, "hedge")
+	backup, berr := h.Client.Complete(breq)
+	backupFinish := h.After + backup.Latency
+	if berr == nil && (perr != nil || backupFinish < primary.Latency) {
+		if h.Metrics != nil {
+			h.Metrics.HedgeWins.Add(1)
+		}
+		backup.Latency = backupFinish
+		return backup, nil
+	}
+	return primary, perr
+}

@@ -22,11 +22,12 @@ type Throttled struct {
 // Complete implements Client.
 func (t *Throttled) Complete(req Request) (Response, error) {
 	resp, err := t.Client.Complete(req)
-	if err != nil {
-		return resp, err
-	}
+	// Failed calls pay their latency too: a rate-limited round trip or a
+	// timed-out generation occupies the wire just like a success, and
+	// skipping the sleep on error would make fault-heavy benchmarks look
+	// faster than the failures they model.
 	if t.Scale > 0 && resp.Latency > 0 {
 		time.Sleep(time.Duration(float64(resp.Latency) * t.Scale))
 	}
-	return resp, nil
+	return resp, err
 }

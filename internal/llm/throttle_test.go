@@ -1,0 +1,108 @@
+package llm
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// latentErrClient fails every call but reports nonzero latency and usage, as
+// a timed-out or 5xx-failed provider call does: the work was done, the
+// content was lost.
+type latentErrClient struct {
+	latency time.Duration
+	usage   Usage
+	err     error
+}
+
+func (c *latentErrClient) Complete(req Request) (Response, error) {
+	return Response{Usage: c.usage, Latency: c.latency}, c.err
+}
+
+// Regression: Throttled used to return early on error without sleeping, so
+// fault-heavy benchmark runs cost zero wall time and looked dishonestly
+// fast. Failed attempts must pay their latency.
+func TestThrottledSleepsOnError(t *testing.T) {
+	wantErr := errors.New("boom")
+	c := &Throttled{
+		Client: &latentErrClient{latency: 500 * time.Millisecond, err: wantErr},
+		Scale:  0.05, // 500ms simulated -> 25ms real
+	}
+	start := time.Now()
+	resp, err := c.Complete(Request{Model: ModelGPT4o})
+	elapsed := time.Since(start)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("error not propagated: got %v", err)
+	}
+	if resp.Latency != 500*time.Millisecond {
+		t.Fatalf("latency not propagated: got %v", resp.Latency)
+	}
+	if elapsed < 20*time.Millisecond {
+		t.Errorf("Throttled returned in %v on error; failed attempts must pay scaled latency (~25ms)", elapsed)
+	}
+}
+
+// Metered must bill failed attempts that consumed resources: tokens for
+// transient/timeout failures, wall time for rate-limited round trips.
+func TestMeteredBillsFailedAttempts(t *testing.T) {
+	t.Run("transient failure bills tokens and wall", func(t *testing.T) {
+		led := NewLedger()
+		m := &Metered{
+			Client: &latentErrClient{
+				latency: 300 * time.Millisecond,
+				usage:   Usage{PromptTokens: 120, CompletionTokens: 40},
+				err:     errors.New("transient"),
+			},
+			Ledger: led,
+		}
+		if _, err := m.Complete(Request{Model: ModelGPT4o}); err == nil {
+			t.Fatal("expected error")
+		}
+		if got := led.TotalCalls(); got != 1 {
+			t.Fatalf("TotalCalls = %d, want 1 (failed call consumed tokens)", got)
+		}
+		if got := led.TotalUsage().Total(); got != 160 {
+			t.Fatalf("TotalUsage = %d tokens, want 160", got)
+		}
+		if got := led.TotalWall(); got != 300*time.Millisecond {
+			t.Fatalf("TotalWall = %v, want 300ms", got)
+		}
+		if led.TotalDollars() <= 0 {
+			t.Fatal("failed attempt with usage must still incur a fee")
+		}
+	})
+
+	t.Run("rate-limited round trip bills wall only", func(t *testing.T) {
+		led := NewLedger()
+		m := &Metered{
+			Client: &latentErrClient{latency: 80 * time.Millisecond, err: errors.New("429")},
+			Ledger: led,
+		}
+		if _, err := m.Complete(Request{Model: ModelGPT35}); err == nil {
+			t.Fatal("expected error")
+		}
+		if got := led.TotalCalls(); got != 1 {
+			t.Fatalf("TotalCalls = %d, want 1", got)
+		}
+		if got := led.TotalUsage().Total(); got != 0 {
+			t.Fatalf("TotalUsage = %d tokens, want 0 (rejected before processing)", got)
+		}
+		if got := led.TotalWall(); got != 80*time.Millisecond {
+			t.Fatalf("TotalWall = %v, want 80ms", got)
+		}
+	})
+
+	t.Run("cost-free rejection goes unbooked", func(t *testing.T) {
+		led := NewLedger()
+		m := &Metered{
+			Client: &latentErrClient{err: errors.New("circuit open")},
+			Ledger: led,
+		}
+		if _, err := m.Complete(Request{Model: ModelGPT4o}); err == nil {
+			t.Fatal("expected error")
+		}
+		if got := led.TotalCalls(); got != 0 {
+			t.Fatalf("TotalCalls = %d, want 0 (shed calls never reached the provider)", got)
+		}
+	})
+}

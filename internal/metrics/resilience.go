@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Resilience aggregates operational counters from the llm/resilience
+// middleware stack (retries, hedges, circuit-breaker activity, injected
+// faults). One instance is shared by every model client of a system, so the
+// counters describe a whole verification run. All fields are atomics; the
+// struct is safe for concurrent use and must not be copied — snapshot it
+// with Snapshot instead.
+//
+// Counter ownership: the Retrier books Attempts and Retries, the Faulty
+// injector books Faults and the per-class counters, Hedged books Hedges and
+// HedgeWins, and the Breaker books BreakerTrips, BreakerSheds, and
+// BreakerProbes.
+type Resilience struct {
+	// Attempts counts individual completion attempts issued by the retry
+	// middleware (first tries included).
+	Attempts atomic.Int64
+	// Retries counts attempts beyond the first of a logical call.
+	Retries atomic.Int64
+	// Faults counts injected transport failures, broken out per class below.
+	Faults      atomic.Int64
+	RateLimited atomic.Int64
+	Timeouts    atomic.Int64
+	Transient   atomic.Int64
+	Permanent   atomic.Int64
+	// Hedges counts backup completions fired; HedgeWins counts the subset
+	// that finished before the primary.
+	Hedges    atomic.Int64
+	HedgeWins atomic.Int64
+	// BreakerTrips counts closed/half-open -> open transitions; BreakerSheds
+	// counts calls rejected while open; BreakerProbes counts half-open probe
+	// admissions.
+	BreakerTrips  atomic.Int64
+	BreakerSheds  atomic.Int64
+	BreakerProbes atomic.Int64
+}
+
+// ResilienceSnapshot is a plain-value copy of the counters at one instant.
+type ResilienceSnapshot struct {
+	Attempts, Retries                                 int64
+	Faults, RateLimited, Timeouts, Transient, Permanent int64
+	Hedges, HedgeWins                                 int64
+	BreakerTrips, BreakerSheds, BreakerProbes         int64
+}
+
+// Snapshot reads all counters. Safe on a nil receiver (all-zero snapshot),
+// so callers need not guard optional metrics.
+func (r *Resilience) Snapshot() ResilienceSnapshot {
+	if r == nil {
+		return ResilienceSnapshot{}
+	}
+	return ResilienceSnapshot{
+		Attempts:      r.Attempts.Load(),
+		Retries:       r.Retries.Load(),
+		Faults:        r.Faults.Load(),
+		RateLimited:   r.RateLimited.Load(),
+		Timeouts:      r.Timeouts.Load(),
+		Transient:     r.Transient.Load(),
+		Permanent:     r.Permanent.Load(),
+		Hedges:        r.Hedges.Load(),
+		HedgeWins:     r.HedgeWins.Load(),
+		BreakerTrips:  r.BreakerTrips.Load(),
+		BreakerSheds:  r.BreakerSheds.Load(),
+		BreakerProbes: r.BreakerProbes.Load(),
+	}
+}
+
+// String renders the snapshot as a one-line operational summary.
+func (s ResilienceSnapshot) String() string {
+	return fmt.Sprintf(
+		"attempts=%d retries=%d faults=%d (429=%d timeout=%d 5xx=%d 4xx=%d) hedges=%d wins=%d breaker: trips=%d sheds=%d probes=%d",
+		s.Attempts, s.Retries, s.Faults, s.RateLimited, s.Timeouts, s.Transient, s.Permanent,
+		s.Hedges, s.HedgeWins, s.BreakerTrips, s.BreakerSheds, s.BreakerProbes)
+}

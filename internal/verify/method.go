@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/claim"
 	"repro/internal/llm"
+	"repro/internal/llm/resilience"
 	"repro/internal/sqldb"
 )
 
@@ -55,8 +56,15 @@ func Attempt(m Method, c *claim.Claim, db *sqldb.Database, sample *Sample, tempe
 // It mutates only c, so concurrent attempts on distinct claims are safe.
 func AttemptWith(m Method, c *claim.Claim, db *sqldb.Database, inv Invocation) bool {
 	c.Result.Attempts++
+	c.Result.Failure = ""
 	query, err := m.Translate(c, db, inv)
 	if err != nil {
+		// Transport failures (exhausted retries, open circuits) are recorded
+		// on the claim so the pipeline can label it "failed" rather than
+		// silently unverified; semantic failures leave Failure empty.
+		if class, ok := resilience.Classify(err); ok {
+			c.Result.Failure = class
+		}
 		return false
 	}
 	c.Result.Query = query // last attempted query, kept even on failure
