@@ -1,14 +1,15 @@
 # Development targets for the CEDAR reproduction. `make check` is the full
 # verification gate: build, vet, the complete test suite under the race
-# detector, the chaos suite (fault injection + resilience middleware), and a
-# short fuzz smoke over the SQL parser/executor.
+# detector, the chaos suite (fault injection + resilience middleware), the
+# golden-trace determinism gate, and a short fuzz smoke over the SQL
+# parser/executor.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build vet test race chaos fuzz-smoke bench
+.PHONY: check build vet test race chaos trace fuzz-smoke bench
 
-check: build vet race chaos fuzz-smoke
+check: build vet race chaos trace fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +29,13 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos|Breaker|Retrier|Hedge|Fault|Throttled|Metered|Resilience' \
 		./internal/core ./internal/llm/resilience ./internal/llm ./cedar
+
+# Golden-trace determinism gate under the race detector: the sorted JSONL
+# trace of a run must be byte-identical across worker counts, with and
+# without injected faults, plus the tracer's own unit/alloc/race suite.
+trace:
+	$(GO) test -race -run 'GoldenTrace|TraceSpans|Tracer|Aggregate|Quantile|Manifest|WriteJSONL' \
+		./internal/core ./internal/trace
 
 # Each fuzz target gets a short exploratory burst on top of its seed corpus
 # (the seeds alone already run as part of `go test`).

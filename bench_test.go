@@ -22,6 +22,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/schedule"
 	"repro/internal/sqldb"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -344,6 +345,56 @@ func BenchmarkAgentAttempt(b *testing.B) {
 		c := *d.Claims[i%len(d.Claims)]
 		c.Result = claim.Result{}
 		verify.Attempt(m, &c, d.Data, nil, 0)
+	}
+}
+
+// BenchmarkTraceOverhead measures what attempt-level tracing adds to the
+// metered verification hot path, in both states: "disabled" (nil tracer, the
+// default) must cost one pointer comparison and zero allocations; "enabled"
+// pays one span append per booked completion. The nil-path allocation guard
+// runs first and fails the benchmark outright if the disabled primitive ever
+// allocates — e.g. if a future change builds the span before checking
+// Enabled().
+func BenchmarkTraceOverhead(b *testing.B) {
+	if avg := testing.AllocsPerRun(1000, func() {
+		var tr *trace.Tracer
+		if tr.Enabled() {
+			b.Fatal("nil tracer reported enabled")
+		}
+		tr.Record(trace.Span{})
+	}); avg != 0 {
+		b.Fatalf("disabled tracing allocates %v objects per attempt, want 0", avg)
+	}
+	docs, err := data.AggChecker(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := docs[0]
+	for _, mode := range []string{"disabled", "enabled"} {
+		b.Run(mode, func(b *testing.B) {
+			var tracer *trace.Tracer
+			if mode == "enabled" {
+				tracer = trace.New()
+			}
+			model, err := sim.New(llm.ModelGPT4o, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			metered := &llm.Metered{Client: model, Ledger: llm.NewLedger(), Tracer: tracer}
+			m := verify.NewOneShot(metered, llm.ModelGPT4o, "oneshot")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := *d.Claims[i%len(d.Claims)]
+				c.Result = claim.Result{}
+				verify.Attempt(m, &c, d.Data, nil, 0)
+				if tracer != nil && tracer.Len() > 1<<16 {
+					b.StopTimer()
+					tracer.Reset() // bound memory on long -benchtime runs
+					b.StartTimer()
+				}
+			}
+		})
 	}
 }
 

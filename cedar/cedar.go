@@ -36,6 +36,7 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/sqldb"
 	"repro/internal/textutil"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -53,7 +54,15 @@ type (
 	Database = sqldb.Database
 	// Table is one relation of a Database.
 	Table = sqldb.Table
+	// Tracer is the attempt-level trace recorder (internal/trace); install
+	// one via Options.Tracer to capture per-attempt spans.
+	Tracer = trace.Tracer
+	// TraceManifest describes the run a trace belongs to.
+	TraceManifest = trace.Manifest
 )
+
+// NewTracer constructs an enabled trace recorder for Options.Tracer.
+func NewTracer() *Tracer { return trace.New() }
 
 // Model names of the built-in simulated GPT family.
 const (
@@ -112,6 +121,13 @@ type Options struct {
 	// testing knob. Faults derive from (Seed, request identity), so a faulty
 	// run reproduces exactly at any worker count.
 	FaultRate float64
+	// Tracer, when non-nil, records one structured span per model attempt
+	// plus middleware events (cache, retry, hedge, breaker, fault) and
+	// per-attempt outcomes — the DESIGN.md §10 observability layer. Verify
+	// resets it at the start of each run (like the fee ledger) so a trace
+	// covers exactly one run. Nil (the default) disables tracing at zero
+	// cost on the attempt hot path.
+	Tracer *trace.Tracer
 }
 
 // System is a configured CEDAR instance.
@@ -156,15 +172,18 @@ func New(opts Options) (*System, error) {
 				Client:  c,
 				Plan:    resilience.Plan{Seed: llm.SplitSeed(opts.Seed, "faults", model), Rate: opts.FaultRate},
 				Metrics: res,
+				Tracer:  opts.Tracer,
 			}
 		}
-		c = &llm.Metered{Client: c, Ledger: ledger}
+		c = &llm.Metered{Client: c, Ledger: ledger, Tracer: opts.Tracer}
 		if opts.CacheResponses {
 			// The cache sits outside the meter so hits are free.
-			c = llm.NewCached(c, 0)
+			cached := llm.NewCached(c, 0)
+			cached.Tracer = opts.Tracer
+			c = cached
 		}
 		if opts.HedgeAfter > 0 {
-			c = &resilience.Hedged{Client: c, After: opts.HedgeAfter, Metrics: res}
+			c = &resilience.Hedged{Client: c, After: opts.HedgeAfter, Metrics: res, Tracer: opts.Tracer}
 		}
 		if opts.Retries > 0 || opts.Timeout > 0 {
 			c = &resilience.Retrier{
@@ -173,10 +192,11 @@ func New(opts Options) (*System, error) {
 				Deadline:    opts.Timeout,
 				Seed:        llm.SplitSeed(opts.Seed, "retry", model),
 				Metrics:     res,
+				Tracer:      opts.Tracer,
 			}
 		}
 		if opts.BreakerThreshold > 0 {
-			c = &resilience.Breaker{Client: c, FailureThreshold: opts.BreakerThreshold, Metrics: res}
+			c = &resilience.Breaker{Client: c, FailureThreshold: opts.BreakerThreshold, Metrics: res, Tracer: opts.Tracer}
 		}
 		return c, nil
 	}
@@ -228,6 +248,7 @@ func (s *System) SetStats(stats []schedule.MethodStats) error {
 		MaxTries:       s.opts.MaxTries,
 		Seed:           s.opts.Seed,
 		Workers:        s.opts.Workers,
+		Tracer:         s.opts.Tracer,
 	})
 	if err != nil {
 		return err
@@ -244,6 +265,21 @@ func (s *System) Stats() []schedule.MethodStats { return s.stats }
 // (attempts, retries, injected faults, hedges, breaker activity) accumulated
 // since the system was built.
 func (s *System) Resilience() metrics.ResilienceSnapshot { return s.res.Snapshot() }
+
+// TraceManifest assembles the run manifest for a trace of the given corpus:
+// the seed, worker count, corpus size, and the system's full option set. It
+// belongs with the trace summary, not the JSONL span stream — it names the
+// worker count, which the byte-identical determinism contract deliberately
+// excludes.
+func (s *System) TraceManifest(docs []*Document) TraceManifest {
+	return trace.Manifest{
+		Seed:    s.opts.Seed,
+		Workers: s.opts.Workers,
+		Docs:    len(docs),
+		Claims:  claim.TotalClaims(docs),
+		Options: s.opts,
+	}
+}
 
 // Schedule describes the planned verification schedule.
 func (s *System) Schedule() string {
@@ -283,6 +319,9 @@ func (s *System) Verify(docs []*Document) (Report, error) {
 		return Report{}, ErrNotProfiled
 	}
 	s.ledger.Reset()
+	// A trace covers exactly one run: drop spans from profiling or earlier
+	// runs, mirroring the ledger reset.
+	s.opts.Tracer.Reset()
 	if s.opts.Workers > 1 {
 		s.pipe.VerifyDocumentsParallel(docs, s.opts.Workers)
 	} else {

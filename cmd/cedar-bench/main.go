@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/trace"
 )
 
 type result interface{ Render() string }
@@ -76,7 +77,15 @@ func main() {
 	hedge := flag.Duration("hedge", 0, "race a backup model call after this simulated latency; 0 disables")
 	breaker := flag.Int("breaker", 0, "per-model circuit breaker threshold; 0 disables")
 	faultRate := flag.Float64("fault-rate", 0, "inject deterministic transport faults at this per-attempt probability")
+	tracePath := flag.String("trace", "", "write the final pipeline run's attempt-level trace as sorted JSONL to this file")
+	traceSum := flag.Bool("trace-summary", false, "print per-method/per-model trace rollups and the run manifest to stderr")
 	flag.Parse()
+	var tracer *trace.Tracer
+	if *tracePath != "" || *traceSum {
+		// Experiment drivers reset the tracer per pipeline run (like the
+		// ledger), so the exported trace covers the last run executed.
+		tracer = trace.New()
+	}
 	// Experiment drivers build their stacks internally via exp.NewStack, so
 	// the resilience knobs travel through the package default.
 	exp.DefaultResilience = exp.ResilienceOptions{
@@ -85,6 +94,7 @@ func main() {
 		Timeout:          *timeout,
 		HedgeAfter:       *hedge,
 		BreakerThreshold: *breaker,
+		Tracer:           tracer,
 	}
 	if flag.NArg() != 1 {
 		usage()
@@ -99,6 +109,36 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if err := exportTrace(tracer, *tracePath, *traceSum, *seed, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "cedar-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// exportTrace writes the tracer's JSONL stream and/or text summary.
+func exportTrace(tracer *trace.Tracer, path string, summary bool, seed int64, workers int) error {
+	if tracer == nil {
+		return nil
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d spans)\n", path, tracer.Len())
+	}
+	if summary {
+		m := trace.Manifest{Seed: seed, Workers: workers}
+		fmt.Fprintf(os.Stderr, "manifest: %s\n%s", m.JSON(), tracer.Summary().Table())
+	}
+	return nil
 }
 
 // runExperiments executes every experiment matching want ("all" matches

@@ -17,6 +17,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/profile"
 	"repro/internal/schedule"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -28,19 +29,56 @@ func main() {
 		retries   = flag.Int("retries", 0, "retry failed retryable model calls up to N additional times")
 		timeout   = flag.Duration("timeout", 0, "per-call simulated deadline across retries; 0 disables")
 		faultRate = flag.Float64("fault-rate", 0, "inject deterministic transport faults at this per-attempt probability")
+		tracePath = flag.String("trace", "", "write the profiling run's attempt-level trace as sorted JSONL to this file")
+		traceSum  = flag.Bool("trace-summary", false, "print per-model trace rollups to stderr (profiling traffic is anonymous: no attempt identities)")
 	)
 	flag.Parse()
+	var tracer *trace.Tracer
+	if *tracePath != "" || *traceSum {
+		tracer = trace.New()
+	}
 	// Profiling under faults shows how provider failures skew the estimated
 	// method statistics — the stack picks the knobs up via the exp default.
 	exp.DefaultResilience = exp.ResilienceOptions{
 		FaultRate: *faultRate,
 		Retries:   *retries,
 		Timeout:   *timeout,
+		Tracer:    tracer,
 	}
 	if err := run(*seed, *bench, *nDocs, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-profile:", err)
 		os.Exit(1)
 	}
+	if err := exportTrace(tracer, *tracePath, *traceSum, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "cedar-profile:", err)
+		os.Exit(1)
+	}
+}
+
+// exportTrace writes the tracer's JSONL stream and/or text summary.
+func exportTrace(tracer *trace.Tracer, path string, summary bool, seed int64) error {
+	if tracer == nil {
+		return nil
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d spans)\n", path, tracer.Len())
+	}
+	if summary {
+		m := trace.Manifest{Seed: seed}
+		fmt.Fprintf(os.Stderr, "manifest: %s\n%s", m.JSON(), tracer.Summary().Table())
+	}
+	return nil
 }
 
 func run(seed int64, bench string, nDocs int, out string) error {

@@ -71,6 +71,8 @@ func main() {
 		hedge      = flag.Duration("hedge", 0, "race a backup model call once the primary exceeds this simulated latency; 0 disables")
 		breaker    = flag.Int("breaker", 0, "trip a per-model circuit breaker after N consecutive failures; 0 disables (order-dependent, see DESIGN.md §9)")
 		faultRate  = flag.Float64("fault-rate", 0, "inject deterministic transport faults at this per-attempt probability (chaos testing)")
+		tracePath  = flag.String("trace", "", "write the run's attempt-level trace as sorted JSONL to this file")
+		traceSum   = flag.Bool("trace-summary", false, "print per-method/per-model trace rollups and the run manifest to stderr")
 	)
 	flag.Parse()
 	if len(csvPaths) == 0 || *claimsPath == "" {
@@ -87,11 +89,13 @@ func main() {
 		AsJSON:     *asJSON,
 		StatsPath:  *statsPath,
 		HTMLPath:   *htmlPath,
-		Retries:    *retries,
-		Timeout:    *timeout,
-		HedgeAfter: *hedge,
-		Breaker:    *breaker,
-		FaultRate:  *faultRate,
+		Retries:      *retries,
+		Timeout:      *timeout,
+		HedgeAfter:   *hedge,
+		Breaker:      *breaker,
+		FaultRate:    *faultRate,
+		TracePath:    *tracePath,
+		TraceSummary: *traceSum,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cedar:", err)
@@ -110,11 +114,13 @@ type runOptions struct {
 	AsJSON     bool
 	StatsPath  string
 	HTMLPath   string
-	Retries    int
-	Timeout    time.Duration
-	HedgeAfter time.Duration
-	Breaker    int
-	FaultRate  float64
+	Retries      int
+	Timeout      time.Duration
+	HedgeAfter   time.Duration
+	Breaker      int
+	FaultRate    float64
+	TracePath    string
+	TraceSummary bool
 }
 
 func run(o runOptions) error {
@@ -165,6 +171,10 @@ func run(o runOptions) error {
 		doc.Claims = append(doc.Claims, c)
 	}
 
+	var tracer *cedar.Tracer
+	if o.TracePath != "" || o.TraceSummary {
+		tracer = cedar.NewTracer()
+	}
 	sys, err := cedar.New(cedar.Options{
 		Seed:             o.Seed,
 		AccuracyTarget:   o.Target,
@@ -174,6 +184,7 @@ func run(o runOptions) error {
 		HedgeAfter:       o.HedgeAfter,
 		BreakerThreshold: o.Breaker,
 		FaultRate:        o.FaultRate,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		return err
@@ -198,6 +209,25 @@ func run(o runOptions) error {
 	rep, err := sys.Verify([]*cedar.Document{doc})
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		if o.TracePath != "" {
+			f, err := os.Create(o.TracePath)
+			if err != nil {
+				return err
+			}
+			if err := tracer.WriteJSONL(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s (%d spans)\n", o.TracePath, tracer.Len())
+		}
+		if o.TraceSummary {
+			fmt.Fprintf(os.Stderr, "manifest: %s\n%s", sys.TraceManifest([]*cedar.Document{doc}).JSON(), tracer.Summary().Table())
+		}
 	}
 	if o.HTMLPath != "" {
 		page, err := report.Render([]*cedar.Document{doc}, report.Summary{

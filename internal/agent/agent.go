@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/llm"
+	tracing "repro/internal/trace"
 )
 
 // Tool is a function the agent may invoke.
@@ -61,6 +62,10 @@ type Runner struct {
 	// QueryToolName identifies the tool whose inputs are logged as
 	// queries (Algorithm 7's DatabaseQuerying check).
 	QueryToolName string
+	// Attempt is the pipeline attempt identity this conversation serves;
+	// stamped on every completion request so middleware trace spans (one per
+	// ReAct turn) attribute to the right attempt.
+	Attempt tracing.Key
 }
 
 // Run drives the loop: invoke the model, parse its turn, execute tools, and
@@ -82,6 +87,7 @@ func (r *Runner) Run(basePrompt string, tools []Tool) (*Trace, error) {
 			Messages:    messages,
 			Temperature: r.Temperature,
 			Seed:        r.Seed,
+			Attempt:     r.Attempt,
 		})
 		if err != nil {
 			return trace, fmt.Errorf("agent: model invocation: %w", err)

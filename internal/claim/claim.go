@@ -43,6 +43,16 @@ type Gold struct {
 	Difficulty float64
 }
 
+// Terminal Result.Method labels for claims no method verified.
+// MethodUnverified marks semantic exhaustion (every translation was
+// implausible); MethodFailed marks transport loss (the last attempt died on
+// a provider error, recorded in Result.Failure) — the claim never got a full
+// verification, so scoring must not treat its default verdict as a real one.
+const (
+	MethodUnverified = "unverified"
+	MethodFailed     = "failed"
+)
+
 // Result is the verification outcome for one claim (Definition 2.6).
 type Result struct {
 	// Verified is true when some verification method produced a plausible

@@ -12,6 +12,7 @@ import (
 	"repro/internal/llm/sim"
 	"repro/internal/metrics"
 	"repro/internal/schedule"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -20,6 +21,9 @@ type chaosKnobs struct {
 	faultRate  float64
 	retries    int
 	hedgeAfter time.Duration
+	// tracer, when non-nil, is wired through every middleware layer so chaos
+	// runs produce attempt-level traces (the golden-trace determinism gate).
+	tracer *trace.Tracer
 }
 
 // resilientStack builds the standard four-method stack with fault injection
@@ -42,11 +46,12 @@ func resilientStack(t testing.TB, seed int64, k chaosKnobs) ([]verify.Method, *l
 				Client:  c,
 				Plan:    resilience.Plan{Seed: llm.SplitSeed(seed, "faults", model), Rate: k.faultRate},
 				Metrics: res,
+				Tracer:  k.tracer,
 			}
 		}
-		c = &llm.Metered{Client: c, Ledger: ledger}
+		c = &llm.Metered{Client: c, Ledger: ledger, Tracer: k.tracer}
 		if k.hedgeAfter > 0 {
-			c = &resilience.Hedged{Client: c, After: k.hedgeAfter, Metrics: res}
+			c = &resilience.Hedged{Client: c, After: k.hedgeAfter, Metrics: res, Tracer: k.tracer}
 		}
 		if k.retries > 0 {
 			c = &resilience.Retrier{
@@ -54,6 +59,7 @@ func resilientStack(t testing.TB, seed int64, k chaosKnobs) ([]verify.Method, *l
 				MaxAttempts: k.retries + 1,
 				Seed:        llm.SplitSeed(seed, "retry", model),
 				Metrics:     res,
+				Tracer:      k.tracer,
 			}
 		}
 		return c
@@ -96,9 +102,11 @@ func TestChaosDeterministicAcrossWorkerCounts(t *testing.T) {
 				t.Fatal("no claims processed in baseline run")
 			}
 			assertNoClaimLost(t, base)
+			assertQualityPartition(t, base)
 
 			got := snapshotRunWith(t, 404, 8, gen, profDocs, build)
 			assertNoClaimLost(t, got)
+			assertQualityPartition(t, got)
 			if got.quality != base.quality {
 				t.Errorf("workers=8 quality %v != workers=1 %v", got.quality, base.quality)
 			}
@@ -131,14 +139,14 @@ func assertNoClaimLost(t *testing.T, snap runSnapshot) {
 	for i, r := range snap.results {
 		switch {
 		case r.Verified:
-			if r.Method == "" || r.Method == "unverified" || r.Method == "failed" {
+			if r.Method == "" || r.Method == claim.MethodUnverified || r.Method == claim.MethodFailed {
 				t.Errorf("claim %d verified but method is %q", i, r.Method)
 			}
-		case r.Method == "failed":
+		case r.Method == claim.MethodFailed:
 			if r.Failure == "" {
 				t.Errorf("claim %d marked failed without a typed transport error", i)
 			}
-		case r.Method == "unverified":
+		case r.Method == claim.MethodUnverified:
 			if r.Failure != "" {
 				t.Errorf("claim %d unverified but carries transport failure %q (should be labeled failed)", i, r.Failure)
 			}
@@ -148,6 +156,61 @@ func assertNoClaimLost(t *testing.T, snap runSnapshot) {
 		if r.Attempts == 0 {
 			t.Errorf("claim %d was never attempted", i)
 		}
+	}
+}
+
+// assertQualityPartition checks the scoring invariant of the Failed bugfix:
+// quality is computed over non-failed claims only, the confusion counts plus
+// Failed partition the corpus exactly, and Failed agrees with the per-claim
+// terminal labels.
+func assertQualityPartition(t *testing.T, snap runSnapshot) {
+	t.Helper()
+	q := snap.quality
+	if got, want := q.TP+q.FP+q.FN+q.TN+q.Failed, len(snap.results); got != want {
+		t.Errorf("confusion counts + failed = %d, want %d claims (%+v)", got, want, q)
+	}
+	failed := 0
+	for _, r := range snap.results {
+		if r.Method == claim.MethodFailed {
+			failed++
+		}
+	}
+	if q.Failed != failed {
+		t.Errorf("Quality.Failed = %d, but %d claims carry method %q", q.Failed, failed, claim.MethodFailed)
+	}
+}
+
+// TestQualityPartitionProperty is the fault-rate sweep of the scoring fix:
+// at every fault rate the confusion counts plus Failed sum to the corpus
+// size, and at rate 0 (no transport loss) the quality equals the plain
+// un-faulted stack's — the resilience middleware and the Failed accounting
+// must not perturb clean-run numbers.
+func TestQualityPartitionProperty(t *testing.T) {
+	docs, err := data.AggChecker(404)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profDocs, evalDocs := docs[:8], docs[8:20]
+	gen := func() []*claim.Document { return claim.CloneDocuments(evalDocs) }
+
+	plain := snapshotRun(t, 404, 1, gen, profDocs)
+	for _, rate := range []float64{0, 0.1, 0.35, 0.6, 0.9} {
+		rate := rate
+		t.Run(fmt.Sprintf("rate=%v", rate), func(t *testing.T) {
+			build := func(t testing.TB, seed int64) ([]verify.Method, *llm.Ledger) {
+				return resilientStack(t, seed, chaosKnobs{faultRate: rate, retries: 1})
+			}
+			snap := snapshotRunWith(t, 404, 4, gen, profDocs, build)
+			assertQualityPartition(t, snap)
+			if rate == 0 {
+				if snap.quality.Failed != 0 {
+					t.Errorf("rate 0 produced %d failed claims", snap.quality.Failed)
+				}
+				if snap.quality != plain.quality {
+					t.Errorf("rate 0 quality %v != plain stack %v", snap.quality, plain.quality)
+				}
+			}
+		})
 	}
 }
 

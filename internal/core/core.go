@@ -17,6 +17,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/schedule"
 	"repro/internal/sqldb"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -51,6 +52,11 @@ type Config struct {
 	// every pass sequential. Parallelism never changes results — only
 	// wall-clock time.
 	Workers int
+	// Tracer, when enabled, receives attempt identities and outcome spans:
+	// the pipeline stamps every verify.Invocation with its
+	// (doc, claim, method, try) key so middleware spans attribute correctly.
+	// Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // DefaultRetryTemperature is the Section 7.1 temperature ladder.
@@ -210,19 +216,27 @@ func (p *Pipeline) VerifyDocument(d *claim.Document) {
 		var sample *verify.Sample
 		for try := 0; try < step.Tries && len(remaining) > 0; try++ {
 			temp := p.tempFunc(step.Method, try)
-			seedFor := func(c *claim.Claim) int64 {
-				return llm.SplitSeed(p.cfg.Seed,
-					d.ID, strconv.Itoa(index[c]), step.Method, strconv.Itoa(try))
+			// invFor binds an attempt's full identity: the seed split from
+			// (doc, claim index, method, try) and the matching trace key, so
+			// the span stream lines up one-to-one with seeded invocations.
+			invFor := func(c *claim.Claim) verify.Invocation {
+				return verify.Invocation{
+					Temperature: temp,
+					Seed: llm.SplitSeed(p.cfg.Seed,
+						d.ID, strconv.Itoa(index[c]), step.Method, strconv.Itoa(try)),
+					Attempt: trace.Key{Doc: d.ID, Claim: index[c], Method: step.Method, Try: try},
+					Tracer:  p.cfg.Tracer,
+				}
 			}
 			if sample == nil {
-				s := p.harvestPass(m, remaining, d.Data, temp, seedFor)
+				s := p.harvestPass(m, remaining, d.Data, invFor)
 				remaining = removeAll(remaining, s)
 				if len(s) > 0 {
 					sample = verify.MakeSample(s[0])
 				}
 			}
 			if sample != nil && len(remaining) > 0 {
-				s := p.samplePass(m, remaining, sample, d.Data, temp, seedFor)
+				s := p.samplePass(m, remaining, sample, d.Data, invFor)
 				remaining = removeAll(remaining, s)
 			}
 		}
@@ -241,9 +255,9 @@ func (p *Pipeline) VerifyDocument(d *claim.Document) {
 			// "failed" so operators can separate degraded claims from
 			// genuinely unverifiable ones.
 			if c.Result.Failure != "" {
-				c.Result.Method = "failed"
+				c.Result.Method = claim.MethodFailed
 			} else {
-				c.Result.Method = "unverified"
+				c.Result.Method = claim.MethodUnverified
 			}
 		}
 	}
@@ -255,10 +269,10 @@ func (p *Pipeline) VerifyDocument(d *claim.Document) {
 // are only attempted when earlier ones failed), so it runs on the calling
 // goroutine; each attempt still holds a worker slot to keep the global
 // attempt bound when many documents are in flight.
-func (p *Pipeline) harvestPass(m verify.Method, claims []*claim.Claim, db *sqldb.Database, temperature float64, seedFor func(*claim.Claim) int64) []*claim.Claim {
+func (p *Pipeline) harvestPass(m verify.Method, claims []*claim.Claim, db *sqldb.Database, invFor func(*claim.Claim) verify.Invocation) []*claim.Claim {
 	for _, c := range claims {
 		p.acquire()
-		ok := verify.AttemptWith(m, c, db, verify.Invocation{Temperature: temperature, Seed: seedFor(c)})
+		ok := verify.AttemptWith(m, c, db, invFor(c))
 		p.release()
 		if ok {
 			return []*claim.Claim{c}
@@ -272,9 +286,11 @@ func (p *Pipeline) harvestPass(m verify.Method, claims []*claim.Claim, db *sqldb
 // its claim, its seed, and a read-only view of the database — so they fan
 // out over the worker pool; successes are collected in claim order, keeping
 // the result identical to a sequential sweep.
-func (p *Pipeline) samplePass(m verify.Method, claims []*claim.Claim, sample *verify.Sample, db *sqldb.Database, temperature float64, seedFor func(*claim.Claim) int64) []*claim.Claim {
+func (p *Pipeline) samplePass(m verify.Method, claims []*claim.Claim, sample *verify.Sample, db *sqldb.Database, invFor func(*claim.Claim) verify.Invocation) []*claim.Claim {
 	attempt := func(c *claim.Claim) bool {
-		return verify.AttemptWith(m, c, db, verify.Invocation{Sample: sample, Temperature: temperature, Seed: seedFor(c)})
+		inv := invFor(c)
+		inv.Sample = sample
+		return verify.AttemptWith(m, c, db, inv)
 	}
 	var verified []*claim.Claim
 	if p.sem == nil || len(claims) < 2 {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/schedule"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -35,6 +36,10 @@ type Stack struct {
 	// splittable seeding of internal/core), so experiments may parallelize
 	// freely without perturbing reported numbers.
 	Workers int
+	// Tracer is the attempt-level span recorder wired through the middleware
+	// when the stack was built with ResilienceOptions.Tracer; pipeline runs
+	// thread it into core.Config so spans carry attempt identities.
+	Tracer *trace.Tracer
 
 	seed int64
 }
@@ -63,6 +68,9 @@ type ResilienceOptions struct {
 	// BreakerThreshold trips a per-model circuit breaker after this many
 	// consecutive failures (order-dependent; see resilience.Breaker).
 	BreakerThreshold int
+	// Tracer, when non-nil, records attempt-level spans from every middleware
+	// layer (see internal/trace); nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // DefaultResilience is applied by NewStack; the cedar-bench and
@@ -94,11 +102,12 @@ func NewStackResilient(seed int64, ro ResilienceOptions) (*Stack, error) {
 				Client:  c,
 				Plan:    resilience.Plan{Seed: llm.SplitSeed(seed, "faults", model), Rate: ro.FaultRate},
 				Metrics: res,
+				Tracer:  ro.Tracer,
 			}
 		}
-		c = &llm.Metered{Client: c, Ledger: ledger}
+		c = &llm.Metered{Client: c, Ledger: ledger, Tracer: ro.Tracer}
 		if ro.HedgeAfter > 0 {
-			c = &resilience.Hedged{Client: c, After: ro.HedgeAfter, Metrics: res}
+			c = &resilience.Hedged{Client: c, After: ro.HedgeAfter, Metrics: res, Tracer: ro.Tracer}
 		}
 		if ro.Retries > 0 || ro.Timeout > 0 {
 			c = &resilience.Retrier{
@@ -107,10 +116,11 @@ func NewStackResilient(seed int64, ro ResilienceOptions) (*Stack, error) {
 				Deadline:    ro.Timeout,
 				Seed:        llm.SplitSeed(seed, "retry", model),
 				Metrics:     res,
+				Tracer:      ro.Tracer,
 			}
 		}
 		if ro.BreakerThreshold > 0 {
-			c = &resilience.Breaker{Client: c, FailureThreshold: ro.BreakerThreshold, Metrics: res}
+			c = &resilience.Breaker{Client: c, FailureThreshold: ro.BreakerThreshold, Metrics: res, Tracer: ro.Tracer}
 		}
 		return c, nil
 	}
@@ -136,6 +146,7 @@ func NewStackResilient(seed int64, ro ResilienceOptions) (*Stack, error) {
 		},
 		Ledger:     ledger,
 		Resilience: res,
+		Tracer:     ro.Tracer,
 	}, nil
 }
 
@@ -147,7 +158,7 @@ func (s *Stack) Profile(profDocs []*claim.Document) ([]schedule.MethodStats, err
 // RunCEDAR plans a schedule at the accuracy target, verifies the documents,
 // and returns the quality metrics plus the run's resource consumption.
 func (s *Stack) RunCEDAR(stats []schedule.MethodStats, target float64, docs []*claim.Document) (metrics.Quality, metrics.RunCost, *core.Pipeline, error) {
-	p, err := core.New(core.Config{Methods: s.Methods, Stats: stats, AccuracyTarget: target, Seed: s.seed, Workers: s.Workers})
+	p, err := core.New(core.Config{Methods: s.Methods, Stats: stats, AccuracyTarget: target, Seed: s.seed, Workers: s.Workers, Tracer: s.Tracer})
 	if err != nil {
 		return metrics.Quality{}, metrics.RunCost{}, nil, err
 	}
@@ -157,7 +168,7 @@ func (s *Stack) RunCEDAR(stats []schedule.MethodStats, target float64, docs []*c
 
 // RunSchedule verifies the documents under a fixed schedule.
 func (s *Stack) RunSchedule(plan *schedule.Schedule, docs []*claim.Document) (metrics.Quality, metrics.RunCost, error) {
-	p, err := core.NewWithSchedule(core.Config{Methods: s.Methods, Seed: s.seed, Workers: s.Workers}, plan)
+	p, err := core.NewWithSchedule(core.Config{Methods: s.Methods, Seed: s.seed, Workers: s.Workers, Tracer: s.Tracer}, plan)
 	if err != nil {
 		return metrics.Quality{}, metrics.RunCost{}, err
 	}
@@ -167,6 +178,8 @@ func (s *Stack) RunSchedule(plan *schedule.Schedule, docs []*claim.Document) (me
 
 func (s *Stack) runPipeline(p *core.Pipeline, docs []*claim.Document) (metrics.Quality, metrics.RunCost) {
 	s.Ledger.Reset()
+	// Like the ledger, a trace covers exactly one pipeline run.
+	s.Tracer.Reset()
 	p.VerifyDocumentsParallel(docs, s.Workers)
 	rc := metrics.RunCost{
 		Dollars: s.Ledger.TotalDollars(),

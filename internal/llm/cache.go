@@ -2,8 +2,11 @@ package llm
 
 import (
 	"container/list"
+	"encoding/binary"
 	"hash/fnv"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // Cached wraps a Client with a response cache for temperature-0 requests.
@@ -18,6 +21,11 @@ type Cached struct {
 	Client Client
 	// MaxEntries bounds the cache (LRU eviction); 0 means 4096.
 	MaxEntries int
+	// Tracer, when enabled, records cache_hit / cache_wait spans. Which
+	// attempt leads a concurrent miss (and which attempts record waits) is
+	// scheduling-dependent, so these spans are excluded from the
+	// cross-worker determinism contract (DESIGN.md §10).
+	Tracer *trace.Tracer
 
 	mu       sync.Mutex
 	table    map[uint64]*list.Element
@@ -68,19 +76,29 @@ func (c *Cached) Complete(req Request) (Response, error) {
 		c.order.MoveToFront(el)
 		resp := el.Value.(*cacheEntry).resp
 		c.mu.Unlock()
+		if c.Tracer.Enabled() {
+			c.Tracer.Record(trace.Span{Key: req.Attempt, Kind: trace.KindCacheHit, Model: req.Model})
+		}
 		return resp, nil
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		<-call.done
-		if call.err != nil {
-			return call.resp, call.err
-		}
-		// Count the wait as a hit: the model was not re-invoked.
+		// Count the wait as a hit whether or not the leader's call
+		// succeeded: either way the model was not re-invoked for this
+		// request. (Error-path waits previously went uncounted, so the hit
+		// rate understated cache effectiveness under fault injection.)
 		c.mu.Lock()
 		c.hits++
 		c.mu.Unlock()
-		return call.resp, nil
+		if c.Tracer.Enabled() {
+			outcome := trace.OutcomeOK
+			if call.err != nil {
+				outcome = trace.OutcomeError
+			}
+			c.Tracer.Record(trace.Span{Key: req.Attempt, Kind: trace.KindCacheWait, Model: req.Model, Outcome: outcome})
+		}
+		return call.resp, call.err
 	}
 	call := &inflightCall{done: make(chan struct{})}
 	c.inflight[key] = call
@@ -115,9 +133,17 @@ func (c *Cached) Stats() (calls, hits int) {
 	return c.calls, c.hits
 }
 
+// cacheKey hashes every request field that can change a temperature-0
+// completion: the model, the messages, and MaxTokens (two identical prompts
+// with different caps truncate differently, so they must not collide). Seed
+// and Attempt are deliberately excluded — temperature-0 completions ignore
+// the seed, and the attempt identity is observability metadata.
 func cacheKey(req Request) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(req.Model))
+	var cap [8]byte
+	binary.LittleEndian.PutUint64(cap[:], uint64(req.MaxTokens))
+	_, _ = h.Write(cap[:])
 	for _, m := range req.Messages {
 		_, _ = h.Write([]byte{0})
 		_, _ = h.Write([]byte(m.Role))

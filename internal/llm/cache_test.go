@@ -1,6 +1,8 @@
 package llm
 
 import (
+	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -91,6 +93,93 @@ func TestCachedEviction(t *testing.T) {
 	if under.calls != 4 {
 		t.Errorf("calls = %d, resident entries missed", under.calls)
 	}
+}
+
+// TestCacheKeyIncludesMaxTokens pins the cache-key fix: two temperature-0
+// requests with the same prompt but different completion caps truncate
+// differently, so they must occupy distinct cache slots.
+func TestCacheKeyIncludesMaxTokens(t *testing.T) {
+	under := &countingClient{}
+	c := NewCached(under, 0)
+	short := req("m", "p", 0)
+	short.MaxTokens = 64
+	long := req("m", "p", 0)
+	long.MaxTokens = 512
+	c.Complete(short)
+	c.Complete(long) // must miss: same prompt, different cap
+	if under.calls != 2 {
+		t.Fatalf("underlying calls = %d, want 2: different MaxTokens collided", under.calls)
+	}
+	c.Complete(short)
+	c.Complete(long) // both resident now
+	if under.calls != 2 {
+		t.Errorf("underlying calls = %d, want 2: same-cap repeats must hit", under.calls)
+	}
+	if calls, hits := c.Stats(); calls != 4 || hits != 2 {
+		t.Errorf("stats = %d/%d, want 4/2", calls, hits)
+	}
+}
+
+// primeInflight installs a completed single-flight leader for r so a waiter's
+// accounting can be tested deterministically: the done channel is already
+// closed, so Complete takes the waiter branch and returns immediately without
+// any goroutine scheduling. (Concurrency-based versions of this test are
+// flaky — a "waiter" that arrives after the leader's delete becomes a new
+// leader instead.)
+func primeInflight(c *Cached, r Request, resp Response, err error) {
+	call := &inflightCall{done: make(chan struct{}), resp: resp, err: err}
+	close(call.done)
+	c.mu.Lock()
+	if c.table == nil {
+		c.table = make(map[uint64]*list.Element)
+		c.order = list.New()
+		c.inflight = make(map[uint64]*inflightCall)
+	}
+	c.inflight[cacheKey(r)] = call
+	c.mu.Unlock()
+}
+
+// TestCachedWaiterCountsHits pins the single-flight accounting fix: a waiter
+// counts as a hit whether the leader succeeded or failed — in both cases the
+// model was not re-invoked for the waiting request. Error-path waits
+// previously went uncounted, understating hit rate under fault injection.
+func TestCachedWaiterCountsHits(t *testing.T) {
+	t.Run("leader succeeded", func(t *testing.T) {
+		under := &countingClient{}
+		c := NewCached(under, 0)
+		r := req("m", "p", 0)
+		primeInflight(c, r, Response{Content: "leader reply"}, nil)
+		resp, err := c.Complete(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Content != "leader reply" {
+			t.Errorf("waiter got %q, want the leader's response", resp.Content)
+		}
+		if under.calls != 0 {
+			t.Errorf("waiter invoked the model %d times", under.calls)
+		}
+		if calls, hits := c.Stats(); calls != 1 || hits != 1 {
+			t.Errorf("stats = %d/%d, want 1/1", calls, hits)
+		}
+	})
+	t.Run("leader failed", func(t *testing.T) {
+		under := &countingClient{}
+		c := NewCached(under, 0)
+		r := req("m", "p", 0)
+		leaderErr := errors.New("simulated transport failure")
+		primeInflight(c, r, Response{}, leaderErr)
+		_, err := c.Complete(r)
+		if err != leaderErr {
+			t.Fatalf("waiter error = %v, want the leader's error", err)
+		}
+		if under.calls != 0 {
+			t.Errorf("waiter invoked the model %d times", under.calls)
+		}
+		if calls, hits := c.Stats(); calls != 1 || hits != 1 {
+			t.Errorf("stats = %d/%d, want 1/1 (error-path wait must count)", calls, hits)
+		}
+	})
 }
 
 func TestCachedConcurrent(t *testing.T) {

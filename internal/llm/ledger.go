@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Ledger accumulates token usage, dollar fees, and simulated wall time per
@@ -132,10 +134,12 @@ func (l *Ledger) String() string {
 	return b.String()
 }
 
-// Metered wraps a Client so that every completion is booked in the ledger.
+// Metered wraps a Client so that every completion is booked in the ledger
+// and, when tracing is enabled, recorded as one attempt span.
 type Metered struct {
 	Client Client
 	Ledger *Ledger
+	Tracer *trace.Tracer
 }
 
 // Complete implements Client.
@@ -145,8 +149,27 @@ func (m *Metered) Complete(req Request) (Response, error) {
 	// or timeout consumed the tokens even though the content is lost, and a
 	// 429 round trip still spent wall time. Only cost-free rejections (a
 	// zero Response, e.g. a shed from an open circuit breaker) go unbooked.
-	if m.Ledger != nil && (err == nil || resp.Usage.Total() > 0 || resp.Latency > 0) {
+	booked := err == nil || resp.Usage.Total() > 0 || resp.Latency > 0
+	if m.Ledger != nil && booked {
 		m.Ledger.Record(req.Model, resp.Usage, resp.Latency)
+	}
+	if m.Tracer.Enabled() && booked {
+		outcome := trace.OutcomeOK
+		if err != nil {
+			outcome = trace.OutcomeError
+		}
+		m.Tracer.Record(trace.Span{
+			Key:              req.Attempt,
+			Kind:             trace.KindAttempt,
+			Model:            req.Model,
+			Temperature:      req.Temperature,
+			Seed:             req.Seed,
+			PromptTokens:     resp.Usage.PromptTokens,
+			CompletionTokens: resp.Usage.CompletionTokens,
+			Fee:              PriceFor(req.Model).Cost(resp.Usage),
+			Latency:          resp.Latency,
+			Outcome:          outcome,
+		})
 	}
 	return resp, err
 }

@@ -10,6 +10,8 @@ package llm
 import (
 	"errors"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Role names for chat messages.
@@ -39,6 +41,11 @@ type Request struct {
 	// how their requests interleave. Zero is a valid seed; temperature-0
 	// completions ignore it (they are deterministic per prompt already).
 	Seed int64
+	// Attempt is the pipeline attempt identity (doc, claim, method, try) this
+	// request serves, carried so middleware can label trace spans. The zero
+	// Key marks anonymous traffic (profiling, ad-hoc calls); it does not
+	// affect completion semantics and is excluded from cache keys.
+	Attempt trace.Key
 }
 
 // Usage reports token consumption of one completion.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // State is a circuit breaker's position.
@@ -62,6 +63,11 @@ type Breaker struct {
 	Cooldown int
 	// Metrics, when non-nil, receives breaker counters.
 	Metrics *metrics.Resilience
+	// Tracer, when enabled, records breaker_shed / breaker_probe /
+	// breaker_trip spans. Breaker spans inherit the state machine's
+	// order-dependence and are excluded from the golden-trace gate (the
+	// breaker is off there).
+	Tracer *trace.Tracer
 
 	mu      sync.Mutex
 	state   State
@@ -72,25 +78,35 @@ type Breaker struct {
 
 // Complete implements llm.Client.
 func (b *Breaker) Complete(req llm.Request) (llm.Response, error) {
-	if !b.admit() {
+	admitted, probed := b.admit()
+	if !admitted {
 		if b.Metrics != nil {
 			b.Metrics.BreakerSheds.Add(1)
 		}
+		if b.Tracer.Enabled() {
+			b.Tracer.Record(trace.Span{Key: req.Attempt, Kind: trace.KindBreakerShed, Model: req.Model})
+		}
 		return llm.Response{}, fmt.Errorf("%w: model %s shedding load", ErrCircuitOpen, req.Model)
 	}
+	if probed && b.Tracer.Enabled() {
+		b.Tracer.Record(trace.Span{Key: req.Attempt, Kind: trace.KindBreakerProbe, Model: req.Model})
+	}
 	resp, err := b.Client.Complete(req)
-	b.settle(err)
+	if b.settle(err) && b.Tracer.Enabled() {
+		b.Tracer.Record(trace.Span{Key: req.Attempt, Kind: trace.KindBreakerTrip, Model: req.Model})
+	}
 	return resp, err
 }
 
 // admit decides whether a call may proceed, advancing Open toward HalfOpen
-// as shed calls accumulate.
-func (b *Breaker) admit() bool {
+// as shed calls accumulate. probed reports that this admission is a
+// half-open recovery probe.
+func (b *Breaker) admit() (admitted, probed bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case Closed:
-		return true
+		return true, false
 	case Open:
 		b.sheds++
 		cooldown := b.Cooldown
@@ -103,26 +119,27 @@ func (b *Breaker) admit() bool {
 			if b.Metrics != nil {
 				b.Metrics.BreakerProbes.Add(1)
 			}
-			return true
+			return true, true
 		}
-		return false
+		return false, false
 	case HalfOpen:
 		if b.probing {
 			b.sheds++
-			return false
+			return false, false
 		}
 		b.probing = true
 		if b.Metrics != nil {
 			b.Metrics.BreakerProbes.Add(1)
 		}
-		return true
+		return true, true
 	default:
-		return true
+		return true, false
 	}
 }
 
-// settle folds an admitted call's outcome into the state machine.
-func (b *Breaker) settle(err error) {
+// settle folds an admitted call's outcome into the state machine and reports
+// whether the outcome tripped the breaker open.
+func (b *Breaker) settle(err error) (tripped bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if err == nil {
@@ -130,7 +147,7 @@ func (b *Breaker) settle(err error) {
 		b.fails = 0
 		b.sheds = 0
 		b.probing = false
-		return
+		return false
 	}
 	switch b.state {
 	case HalfOpen:
@@ -140,6 +157,7 @@ func (b *Breaker) settle(err error) {
 		if b.Metrics != nil {
 			b.Metrics.BreakerTrips.Add(1)
 		}
+		return true
 	default:
 		b.fails++
 		threshold := b.FailureThreshold
@@ -152,7 +170,9 @@ func (b *Breaker) settle(err error) {
 			if b.Metrics != nil {
 				b.Metrics.BreakerTrips.Add(1)
 			}
+			return true
 		}
+		return false
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Plan is a deterministic fault schedule. Whether the n-th call of a given
@@ -114,6 +115,11 @@ type Faulty struct {
 	Plan Plan
 	// Metrics, when non-nil, receives fault counters.
 	Metrics *metrics.Resilience
+	// Tracer, when enabled, records a fault span per injection; the span's
+	// Outcome carries the error class. Fault spans are deterministic because
+	// the schedule is identity-keyed, so they participate in the golden
+	// trace.
+	Tracer *trace.Tracer
 
 	mu          sync.Mutex
 	occurrences map[uint64]int
@@ -138,6 +144,10 @@ func (f *Faulty) Complete(req llm.Request) (llm.Response, error) {
 		return f.Client.Complete(req)
 	}
 	f.count(fault)
+	if f.Tracer.Enabled() {
+		class, _ := Classify(fault)
+		f.Tracer.Record(trace.Span{Key: req.Attempt, Kind: trace.KindFault, Model: req.Model, Seed: req.Seed, Outcome: class})
+	}
 	if errors.Is(fault, ErrRateLimited) {
 		return llm.Response{Latency: llm.PriceFor(req.Model).PerCallOverhead}, fault
 	}

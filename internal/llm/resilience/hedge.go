@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Hedged wraps a Client and races a backup request when the primary is slow:
@@ -28,6 +29,10 @@ type Hedged struct {
 	After time.Duration
 	// Metrics, when non-nil, receives hedge counters.
 	Metrics *metrics.Resilience
+	// Tracer, when enabled, records a hedge span when the backup fires and a
+	// hedge_win span when it beats the primary. Hedge decisions are a pure
+	// function of request identity, so both participate in the golden trace.
+	Tracer *trace.Tracer
 }
 
 // Complete implements llm.Client.
@@ -41,11 +46,17 @@ func (h *Hedged) Complete(req llm.Request) (llm.Response, error) {
 	}
 	breq := req
 	breq.Seed = llm.SplitSeed(req.Seed, "hedge")
+	if h.Tracer.Enabled() {
+		h.Tracer.Record(trace.Span{Key: req.Attempt, Kind: trace.KindHedge, Model: req.Model, Seed: breq.Seed, Latency: primary.Latency})
+	}
 	backup, berr := h.Client.Complete(breq)
 	backupFinish := h.After + backup.Latency
 	if berr == nil && (perr != nil || backupFinish < primary.Latency) {
 		if h.Metrics != nil {
 			h.Metrics.HedgeWins.Add(1)
+		}
+		if h.Tracer.Enabled() {
+			h.Tracer.Record(trace.Span{Key: req.Attempt, Kind: trace.KindHedgeWin, Model: req.Model, Seed: breq.Seed, Latency: backupFinish})
 		}
 		backup.Latency = backupFinish
 		return backup, nil

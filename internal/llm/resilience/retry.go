@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Retrier wraps a Client and retries retryable transport failures with
@@ -41,6 +42,10 @@ type Retrier struct {
 	Sleep func(time.Duration)
 	// Metrics, when non-nil, receives attempt and retry counters.
 	Metrics *metrics.Resilience
+	// Tracer, when enabled, records a retry span per backoff decision; the
+	// span's Latency is the deterministic jittered wait and Detail the retry
+	// ordinal.
+	Tracer *trace.Tracer
 }
 
 // Complete implements llm.Client.
@@ -77,6 +82,12 @@ func (r *Retrier) Complete(req llm.Request) (llm.Response, error) {
 			elapsed += d
 			if r.Deadline > 0 && elapsed >= r.Deadline {
 				return resp, fmt.Errorf("%w: %v elapsed of %v deadline (last: %v)", ErrTimeout, elapsed, r.Deadline, err)
+			}
+			if r.Tracer.Enabled() {
+				r.Tracer.Record(trace.Span{
+					Key: req.Attempt, Kind: trace.KindRetry, Model: req.Model,
+					Seed: req.Seed, Latency: d, Detail: fmt.Sprintf("retry %d", attempt+1),
+				})
 			}
 			if r.Sleep != nil {
 				r.Sleep(d)

@@ -1,6 +1,10 @@
 package llm
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/trace"
+)
 
 // Throttled wraps a Client and sleeps a scaled fraction of each response's
 // simulated latency before returning it. The simulated models compute
@@ -17,6 +21,8 @@ type Throttled struct {
 	// milliseconds (useful in benchmarks). Zero or negative disables the
 	// sleep, making Throttled a no-op wrapper.
 	Scale float64
+	// Tracer, when enabled, records a throttle span per imposed sleep.
+	Tracer *trace.Tracer
 }
 
 // Complete implements Client.
@@ -27,7 +33,11 @@ func (t *Throttled) Complete(req Request) (Response, error) {
 	// skipping the sleep on error would make fault-heavy benchmarks look
 	// faster than the failures they model.
 	if t.Scale > 0 && resp.Latency > 0 {
-		time.Sleep(time.Duration(float64(resp.Latency) * t.Scale))
+		sleep := time.Duration(float64(resp.Latency) * t.Scale)
+		if t.Tracer.Enabled() {
+			t.Tracer.Record(trace.Span{Key: req.Attempt, Kind: trace.KindThrottle, Model: req.Model, Latency: sleep})
+		}
+		time.Sleep(sleep)
 	}
 	return resp, err
 }

@@ -19,16 +19,28 @@ type Quality struct {
 	F1        float64
 	// Confusion counts for transparency.
 	TP, FP, FN, TN int
+	// Failed counts claims whose verification died on a transport error
+	// (Result.Method == claim.MethodFailed). They carry no semantic verdict
+	// — the default "correct" is a placeholder, not a prediction — so they
+	// are excluded from the confusion matrix and reported separately.
+	// Scoring them would let a 429 storm silently inflate TN (or FP when a
+	// partial attempt happened to be executable).
+	Failed int
 }
 
 // Evaluate scores verification results against gold labels over a corpus.
 // A claim is "predicted incorrect" when its final verdict marks it
 // incorrect — whether through a plausible verified query or through the
 // Section 4 fallback for executable-but-unmatched translations.
+// Transport-failed claims are tallied in Failed and skipped.
 func Evaluate(docs []*claim.Document) Quality {
 	var q Quality
 	for _, d := range docs {
 		for _, c := range d.Claims {
+			if c.Result.Method == claim.MethodFailed {
+				q.Failed++
+				continue
+			}
 			predictedIncorrect := !c.Result.Correct
 			goldIncorrect := !c.Gold.Correct
 			switch {
@@ -57,8 +69,12 @@ func Evaluate(docs []*claim.Document) Quality {
 
 // String renders the quality as percentages, Table 2 style.
 func (q Quality) String() string {
-	return fmt.Sprintf("precision=%.1f recall=%.1f f1=%.1f (tp=%d fp=%d fn=%d tn=%d)",
+	s := fmt.Sprintf("precision=%.1f recall=%.1f f1=%.1f (tp=%d fp=%d fn=%d tn=%d",
 		q.Precision*100, q.Recall*100, q.F1*100, q.TP, q.FP, q.FN, q.TN)
+	if q.Failed > 0 {
+		s += fmt.Sprintf(" failed=%d", q.Failed)
+	}
+	return s + ")"
 }
 
 // RunCost summarizes the resource consumption of one verification run.

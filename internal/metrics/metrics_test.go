@@ -93,6 +93,45 @@ func TestF1BoundsProperty(t *testing.T) {
 	}
 }
 
+// TestEvaluateExcludesFailedClaims pins the transport-failure scoring fix:
+// a claim that died on a transport error carries no semantic verdict, so it
+// must land in Failed — never in the confusion matrix, where its placeholder
+// "correct" default would masquerade as a TN (or FP).
+func TestEvaluateExcludesFailedClaims(t *testing.T) {
+	failed := func(goldCorrect bool) *claim.Claim {
+		return &claim.Claim{
+			Gold:   claim.Gold{Correct: goldCorrect},
+			Result: claim.Result{Correct: true, Method: claim.MethodFailed, Failure: "transient"},
+		}
+	}
+	docs := []*claim.Document{{Claims: []*claim.Claim{
+		mkClaim(false, false), // TP
+		mkClaim(true, true),   // TN
+		failed(true),
+		failed(false), // gold-incorrect: scoring it would book a spurious FN
+	}}}
+	q := Evaluate(docs)
+	if q.Failed != 2 {
+		t.Errorf("Failed = %d want 2", q.Failed)
+	}
+	if q.TP != 1 || q.FP != 0 || q.FN != 0 || q.TN != 1 {
+		t.Errorf("confusion polluted by failed claims: %+v", q)
+	}
+	if q.TP+q.FP+q.FN+q.TN+q.Failed != 4 {
+		t.Errorf("counts do not partition the corpus: %+v", q)
+	}
+	if q.Precision != 1 || q.Recall != 1 {
+		t.Errorf("p/r = %v/%v, failed claims leaked into the ratios", q.Precision, q.Recall)
+	}
+	if !strings.Contains(q.String(), "failed=2") {
+		t.Errorf("String = %q, missing failed count", q.String())
+	}
+	// Clean runs keep the seed rendering: no failed tally shown.
+	if s := Evaluate([]*claim.Document{{Claims: []*claim.Claim{mkClaim(true, true)}}}).String(); strings.Contains(s, "failed=") {
+		t.Errorf("String = %q, failed tally shown for a clean run", s)
+	}
+}
+
 func TestRunCost(t *testing.T) {
 	rc := RunCost{Dollars: 2, Calls: 10, Wall: 30 * time.Minute, Claims: 100}
 	if got := rc.Throughput(); math.Abs(got-200) > 1e-9 {

@@ -67,6 +67,7 @@ func (a *Agent) Translate(c *claim.Claim, db *sqldb.Database, inv Invocation) (s
 		Seed:          llm.SplitSeed(a.Seed, "conversation", strconv.FormatInt(inv.Seed, 16)),
 		MaxIters:      a.MaxIters,
 		QueryToolName: prompts.ToolQuery,
+		Attempt:       inv.Attempt,
 	}
 	trace, err := runner.Run(base, a.tools(db, c.Value))
 	if trace != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/llm/resilience"
 	"repro/internal/sqldb"
+	"repro/internal/trace"
 )
 
 // Sample is a successfully translated claim used for few-shot learning (the
@@ -30,6 +31,13 @@ type Invocation struct {
 	// independent of execution order — the keystone of deterministic
 	// claim-level parallelism. Ignored at temperature 0.
 	Seed int64
+	// Attempt is the trace identity of this invocation — the same
+	// (doc, claim, method, try) tuple the Seed is split from. Copied onto
+	// every llm.Request the method issues so middleware spans attribute to
+	// the right attempt; the zero Key is fine for untraced callers.
+	Attempt trace.Key
+	// Tracer, when enabled, receives the attempt's terminal outcome span.
+	Tracer *trace.Tracer
 }
 
 // Method is one verification approach instantiated with a specific model —
@@ -64,6 +72,9 @@ func AttemptWith(m Method, c *claim.Claim, db *sqldb.Database, inv Invocation) b
 		// silently unverified; semantic failures leave Failure empty.
 		if class, ok := resilience.Classify(err); ok {
 			c.Result.Failure = class
+			inv.outcome(class)
+		} else {
+			inv.outcome(trace.OutcomeImplausible)
 		}
 		return false
 	}
@@ -75,16 +86,29 @@ func AttemptWith(m Method, c *claim.Claim, db *sqldb.Database, inv Invocation) b
 		c.Result.Executable = true
 	}
 	if !CorrectQuery(query, c.Value, db) {
+		inv.outcome(trace.OutcomeImplausible)
 		return false
 	}
 	correct, err := CorrectClaim(query, c.Value, db)
 	if err != nil {
+		inv.outcome(trace.OutcomeImplausible)
 		return false
 	}
 	c.Result.Verified = true
 	c.Result.Correct = correct
 	c.Result.Method = m.Name()
+	inv.outcome(trace.OutcomeVerified)
 	return true
+}
+
+// outcome records the attempt's terminal verdict span: "verified",
+// "implausible" (the translation executed but failed a gate, or the model
+// answered unusably), or a transport-error class.
+func (inv Invocation) outcome(verdict string) {
+	if !inv.Tracer.Enabled() {
+		return
+	}
+	inv.Tracer.Record(trace.Span{Key: inv.Attempt, Kind: trace.KindOutcome, Outcome: verdict})
 }
 
 // MakeSample converts a successfully verified claim into a few-shot sample.
@@ -117,5 +141,6 @@ func singleTurn(client llm.Client, model, prompt string, inv Invocation) (llm.Re
 		Messages:    []llm.Message{{Role: llm.RoleUser, Content: prompt}},
 		Temperature: inv.Temperature,
 		Seed:        inv.Seed,
+		Attempt:     inv.Attempt,
 	})
 }
