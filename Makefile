@@ -7,9 +7,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build vet test race chaos trace fuzz-smoke bench
+.PHONY: check build vet test race chaos trace fuzz-smoke doclint bench
 
-check: build vet race chaos trace fuzz-smoke
+check: build vet race chaos trace fuzz-smoke doclint
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ chaos:
 trace:
 	$(GO) test -race -run 'GoldenTrace|TraceSpans|Tracer|Aggregate|Quantile|Manifest|WriteJSONL' \
 		./internal/core ./internal/trace
+
+# Documented-surface gate: every flag each binary registers must appear in
+# its docs/CLI.md section (each cmd package walks its own FlagSet), every
+# cedar-serve route must be in the API reference, and every package must
+# open with a package comment.
+doclint:
+	$(GO) test -run 'Doclint' ./cmd/... ./internal/doclint
 
 # Each fuzz target gets a short exploratory burst on top of its seed corpus
 # (the seeds alone already run as part of `go test`).

@@ -22,7 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/claim"
@@ -35,7 +35,6 @@ import (
 	"repro/internal/profile"
 	"repro/internal/schedule"
 	"repro/internal/sqldb"
-	"repro/internal/textutil"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -138,6 +137,13 @@ type System struct {
 	res     *metrics.Resilience
 	stats   []schedule.MethodStats
 	pipe    *core.Pipeline
+
+	// runMu serializes verification runs: the fee ledger and the tracer are
+	// run-scoped (reset at run start, read at run end), so overlapping runs
+	// would cross-bill each other. Serialization makes Verify/VerifyClaims
+	// safe for concurrent callers — cedar-serve relies on this when its
+	// micro-batch loop shares one System across all HTTP requests.
+	runMu sync.Mutex
 }
 
 // ErrNotProfiled is returned by Verify before ProfileOn (or SetStats) has
@@ -314,10 +320,20 @@ func (r Report) String() string {
 
 // Verify runs multi-stage verification (Algorithm 1) over the documents,
 // annotating each claim's Result in place, and returns a run report.
+//
+// Verify is safe for concurrent use: runs are serialized, because the fee
+// ledger and the tracer cover exactly one run each. Documents within a run
+// are mutually independent (per-document schedules, samples, and split
+// seeds), so a claim's verdict depends only on its own document's identity
+// and contents — never on which other documents share the run. That
+// independence is what lets cedar-serve coalesce concurrent requests into
+// micro-batches without perturbing any request's results.
 func (s *System) Verify(docs []*Document) (Report, error) {
 	if s.pipe == nil {
 		return Report{}, ErrNotProfiled
 	}
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	s.ledger.Reset()
 	// A trace covers exactly one run: drop spans from profiling or earlier
 	// runs, mirroring the ledger reset.
@@ -347,6 +363,22 @@ func (s *System) Verify(docs []*Document) (Report, error) {
 	return rep, nil
 }
 
+// VerifyClaims verifies one batch of claims against a database as a single
+// request-scoped run. It wraps the claims in a document whose ID seeds
+// every attempt — llm.SplitSeed(Seed, docID, claimIndex, method, try) — so
+// the same (docID, claims) pair yields bit-identical verdicts and fees no
+// matter which ingress path submitted it. This is the entry point shared by
+// cmd/cedar (one run per invocation) and cedar-serve (one run per
+// micro-batch); both paths funnel into the same pipeline, so there is no
+// behavioral fork between batch and served verification to keep in sync.
+//
+// The returned Report's Dollars/Calls cover exactly this run. Like Verify,
+// concurrent calls are serialized.
+func (s *System) VerifyClaims(docID string, db *Database, claims []*Claim) (Report, error) {
+	doc := &Document{ID: docID, Domain: "request", Data: db, Claims: claims}
+	return s.Verify([]*Document{doc})
+}
+
 // --- document construction helpers ---
 
 // NewDatabase creates an empty database.
@@ -362,23 +394,11 @@ func LoadCSVTable(name string, r io.Reader) (*Table, error) {
 // in the sentence, and the surrounding context paragraph. The value's token
 // span is located automatically.
 func NewClaim(id, sentence, value, context string) (*Claim, error) {
-	span, ok := textutil.FindValueSpan(sentence, value)
-	if !ok {
-		return nil, fmt.Errorf("cedar: value %q does not occur in sentence %q", value, sentence)
+	c, err := claim.New(id, sentence, value, context)
+	if err != nil {
+		return nil, fmt.Errorf("cedar: %w", err)
 	}
-	if context == "" {
-		context = sentence
-	}
-	if !strings.Contains(context, sentence) {
-		context = context + " " + sentence
-	}
-	return &Claim{
-		ID:       id,
-		Sentence: sentence,
-		Span:     span,
-		Context:  context,
-		Value:    value,
-	}, nil
+	return c, nil
 }
 
 // --- benchmark corpora ---

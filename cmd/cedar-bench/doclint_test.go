@@ -1,0 +1,37 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/doclint"
+)
+
+// TestDoclintFlags is this binary's half of the documented-surface gate:
+// every flag defineFlags registers must appear in the cedar-bench section
+// of docs/CLI.md — and so must every experiment id.
+func TestDoclintFlags(t *testing.T) {
+	doc, err := doclint.CLIDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("cedar-bench", flag.ContinueOnError)
+	defineFlags(fs)
+	missing, err := doclint.MissingFlags(doc, "cedar-bench", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("flags undocumented in docs/CLI.md: -%s", strings.Join(missing, ", -"))
+	}
+	section, err := doclint.BinarySection(doc, "cedar-bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range experiments() {
+		if !strings.Contains(section, "`"+e.name+"`") {
+			t.Errorf("experiment %q undocumented in docs/CLI.md", e.name)
+		}
+	}
+}

@@ -14,6 +14,8 @@
 //	table3     Table 3  — query complexity statistics
 //	joinbench  §7.3.2   — F1 and cost under schema normalization
 //	fig7       Figure 7 — schedule robustness across domains
+//	modelfit   extended report — modeled vs realized accuracy
+//	servebench serving mode — req/s and latency quantiles under HTTP load
 //	all        run everything above
 package main
 
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/trace"
@@ -65,23 +68,49 @@ func experiments() []experiment {
 		{"modelfit", "Extended report: modeled vs realized accuracy (independence assumptions)", func(s int64, w int) (result, error) {
 			return exp.ModelFit(s, w)
 		}},
+		{"servebench", "Serving mode: req/s and latency quantiles under concurrent HTTP load", func(s int64, w int) (result, error) {
+			return exp.ServeBench(s, w)
+		}},
 	}
 }
 
+// benchOptions carries the parsed command line into main.
+type benchOptions struct {
+	Seed         int64
+	Workers      int
+	AsCSV        bool
+	Retries      int
+	Timeout      time.Duration
+	HedgeAfter   time.Duration
+	Breaker      int
+	FaultRate    float64
+	TracePath    string
+	TraceSummary bool
+}
+
+// defineFlags registers the binary's flags on fs, bound to the returned
+// options. Split from main so the doclint test can walk the registered
+// FlagSet against docs/CLI.md.
+func defineFlags(fs *flag.FlagSet) *benchOptions {
+	o := &benchOptions{}
+	fs.Int64Var(&o.Seed, "seed", 17, "random seed (runs are fully reproducible per seed)")
+	fs.IntVar(&o.Workers, "workers", 1, "concurrent claim verifications; results are identical for any value")
+	fs.BoolVar(&o.AsCSV, "csv", false, "emit CSV series instead of formatted text")
+	fs.IntVar(&o.Retries, "retries", 0, "retry failed retryable model calls up to N additional times")
+	fs.DurationVar(&o.Timeout, "timeout", 0, "per-call simulated deadline across retries; 0 disables")
+	fs.DurationVar(&o.HedgeAfter, "hedge", 0, "race a backup model call after this simulated latency; 0 disables")
+	fs.IntVar(&o.Breaker, "breaker", 0, "per-model circuit breaker threshold; 0 disables")
+	fs.Float64Var(&o.FaultRate, "fault-rate", 0, "inject deterministic transport faults at this per-attempt probability")
+	fs.StringVar(&o.TracePath, "trace", "", "write the final pipeline run's attempt-level trace as sorted JSONL to this file")
+	fs.BoolVar(&o.TraceSummary, "trace-summary", false, "print per-method/per-model trace rollups and the run manifest to stderr")
+	return o
+}
+
 func main() {
-	seed := flag.Int64("seed", 17, "random seed (runs are fully reproducible per seed)")
-	workers := flag.Int("workers", 1, "concurrent claim verifications; results are identical for any value")
-	asCSV := flag.Bool("csv", false, "emit CSV series instead of formatted text")
-	retries := flag.Int("retries", 0, "retry failed retryable model calls up to N additional times")
-	timeout := flag.Duration("timeout", 0, "per-call simulated deadline across retries; 0 disables")
-	hedge := flag.Duration("hedge", 0, "race a backup model call after this simulated latency; 0 disables")
-	breaker := flag.Int("breaker", 0, "per-model circuit breaker threshold; 0 disables")
-	faultRate := flag.Float64("fault-rate", 0, "inject deterministic transport faults at this per-attempt probability")
-	tracePath := flag.String("trace", "", "write the final pipeline run's attempt-level trace as sorted JSONL to this file")
-	traceSum := flag.Bool("trace-summary", false, "print per-method/per-model trace rollups and the run manifest to stderr")
+	o := defineFlags(flag.CommandLine)
 	flag.Parse()
 	var tracer *trace.Tracer
-	if *tracePath != "" || *traceSum {
+	if o.TracePath != "" || o.TraceSummary {
 		// Experiment drivers reset the tracer per pipeline run (like the
 		// ledger), so the exported trace covers the last run executed.
 		tracer = trace.New()
@@ -89,18 +118,18 @@ func main() {
 	// Experiment drivers build their stacks internally via exp.NewStack, so
 	// the resilience knobs travel through the package default.
 	exp.DefaultResilience = exp.ResilienceOptions{
-		FaultRate:        *faultRate,
-		Retries:          *retries,
-		Timeout:          *timeout,
-		HedgeAfter:       *hedge,
-		BreakerThreshold: *breaker,
+		FaultRate:        o.FaultRate,
+		Retries:          o.Retries,
+		Timeout:          o.Timeout,
+		HedgeAfter:       o.HedgeAfter,
+		BreakerThreshold: o.Breaker,
 		Tracer:           tracer,
 	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
-	ran, err := runExperiments(os.Stdout, flag.Arg(0), *seed, *workers, *asCSV)
+	ran, err := runExperiments(os.Stdout, flag.Arg(0), o.Seed, o.Workers, o.AsCSV)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-bench:", err)
 		os.Exit(1)
@@ -109,7 +138,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err := exportTrace(tracer, *tracePath, *traceSum, *seed, *workers); err != nil {
+	if err := exportTrace(tracer, o.TracePath, o.TraceSummary, o.Seed, o.Workers); err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-bench:", err)
 		os.Exit(1)
 	}

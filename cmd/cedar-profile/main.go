@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/cedar"
 	"repro/internal/exp"
@@ -20,36 +21,56 @@ import (
 	"repro/internal/trace"
 )
 
+// profileOptions carries the parsed command line into main.
+type profileOptions struct {
+	Seed         int64
+	Bench        string
+	Docs         int
+	OutPath      string
+	Retries      int
+	Timeout      time.Duration
+	FaultRate    float64
+	TracePath    string
+	TraceSummary bool
+}
+
+// defineFlags registers the binary's flags on fs, bound to the returned
+// options. Split from main so the doclint test can walk the registered
+// FlagSet against docs/CLI.md.
+func defineFlags(fs *flag.FlagSet) *profileOptions {
+	o := &profileOptions{}
+	fs.Int64Var(&o.Seed, "seed", 17, "random seed")
+	fs.StringVar(&o.Bench, "bench", cedar.BenchAggChecker, "benchmark to profile on")
+	fs.IntVar(&o.Docs, "docs", 8, "number of profiling documents")
+	fs.StringVar(&o.OutPath, "o", "", "write statistics to this JSON file (readable by cedar -stats)")
+	fs.IntVar(&o.Retries, "retries", 0, "retry failed retryable model calls up to N additional times")
+	fs.DurationVar(&o.Timeout, "timeout", 0, "per-call simulated deadline across retries; 0 disables")
+	fs.Float64Var(&o.FaultRate, "fault-rate", 0, "inject deterministic transport faults at this per-attempt probability")
+	fs.StringVar(&o.TracePath, "trace", "", "write the profiling run's attempt-level trace as sorted JSONL to this file")
+	fs.BoolVar(&o.TraceSummary, "trace-summary", false, "print per-model trace rollups to stderr (profiling traffic is anonymous: no attempt identities)")
+	return o
+}
+
 func main() {
-	var (
-		seed      = flag.Int64("seed", 17, "random seed")
-		bench     = flag.String("bench", cedar.BenchAggChecker, "benchmark to profile on")
-		nDocs     = flag.Int("docs", 8, "number of profiling documents")
-		out       = flag.String("o", "", "write statistics to this JSON file (readable by cedar -stats)")
-		retries   = flag.Int("retries", 0, "retry failed retryable model calls up to N additional times")
-		timeout   = flag.Duration("timeout", 0, "per-call simulated deadline across retries; 0 disables")
-		faultRate = flag.Float64("fault-rate", 0, "inject deterministic transport faults at this per-attempt probability")
-		tracePath = flag.String("trace", "", "write the profiling run's attempt-level trace as sorted JSONL to this file")
-		traceSum  = flag.Bool("trace-summary", false, "print per-model trace rollups to stderr (profiling traffic is anonymous: no attempt identities)")
-	)
+	o := defineFlags(flag.CommandLine)
 	flag.Parse()
 	var tracer *trace.Tracer
-	if *tracePath != "" || *traceSum {
+	if o.TracePath != "" || o.TraceSummary {
 		tracer = trace.New()
 	}
 	// Profiling under faults shows how provider failures skew the estimated
 	// method statistics — the stack picks the knobs up via the exp default.
 	exp.DefaultResilience = exp.ResilienceOptions{
-		FaultRate: *faultRate,
-		Retries:   *retries,
-		Timeout:   *timeout,
+		FaultRate: o.FaultRate,
+		Retries:   o.Retries,
+		Timeout:   o.Timeout,
 		Tracer:    tracer,
 	}
-	if err := run(*seed, *bench, *nDocs, *out); err != nil {
+	if err := run(o.Seed, o.Bench, o.Docs, o.OutPath); err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-profile:", err)
 		os.Exit(1)
 	}
-	if err := exportTrace(tracer, *tracePath, *traceSum, *seed); err != nil {
+	if err := exportTrace(tracer, o.TracePath, o.TraceSummary, o.Seed); err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-profile:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/doclint"
+)
+
+// TestDoclintFlags is this binary's half of the documented-surface gate:
+// every flag defineFlags registers must appear in the cedar-serve section
+// of docs/CLI.md.
+func TestDoclintFlags(t *testing.T) {
+	doc, err := doclint.CLIDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("cedar-serve", flag.ContinueOnError)
+	defineFlags(fs)
+	missing, err := doclint.MissingFlags(doc, "cedar-serve", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("flags undocumented in docs/CLI.md: -%s", strings.Join(missing, ", -"))
+	}
+}
+
+// The HTTP routes are a documented surface too: each must be named in the
+// cedar-serve section's API reference.
+func TestDoclintRoutes(t *testing.T) {
+	doc, err := doclint.CLIDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	section, err := doclint.BinarySection(doc, "cedar-serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, route := range []string{
+		"POST /v1/verify",
+		"POST /v1/verify/batch",
+		"GET /v1/status",
+		"GET /v1/metrics",
+		"GET /healthz",
+	} {
+		if !strings.Contains(section, route) {
+			t.Errorf("route %q undocumented in docs/CLI.md", route)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Command cedar-serve exposes CEDAR claim verification as a long-running
+// HTTP service: it loads a CSV database, profiles (or loads) the method
+// statistics once, and then serves claim-verification requests, coalescing
+// concurrent requests into micro-batches over the shared worker pool.
+//
+// Usage:
+//
+//	cedar-serve -csv data.csv [-addr :8080] [-target 0.99] [-seed 1] [-workers 8]
+//
+// Routes (full API reference in docs/CLI.md):
+//
+//	POST /v1/verify        verify one document's claims
+//	POST /v1/verify/batch  verify several documents in one request
+//	GET  /v1/status        serving state and queue depth
+//	GET  /v1/metrics       request, verification, and resilience counters
+//	GET  /healthz          liveness (503 while draining)
+//
+// A served run is bit-identical to the equivalent `cedar` CLI run: same
+// seed, same database, same claims ⇒ same verdicts and fees, regardless of
+// how requests were batched. SIGINT/SIGTERM drain gracefully: admitted
+// requests finish, new ones get 503, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/cedar"
+	"repro/internal/cliutil"
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/serve"
+)
+
+// serveOptions carries the parsed command line into run.
+type serveOptions struct {
+	CSVPaths  []string
+	TableName string
+	Addr      string
+	Target    float64
+	Seed      int64
+	Workers   int
+	StatsPath string
+
+	MaxBatch       int
+	BatchWait      time.Duration
+	QueueDepth     int
+	RequestTimeout time.Duration
+	RetryAfter     time.Duration
+	DrainTimeout   time.Duration
+
+	Retries    int
+	Timeout    time.Duration
+	HedgeAfter time.Duration
+	Breaker    int
+	FaultRate  float64
+}
+
+// defineFlags registers the binary's flags on fs, bound to the returned
+// options. Split from main so the doclint test can walk the registered
+// FlagSet against docs/CLI.md. The resilience defaults come from
+// exp.ServingResilience: unlike the batch CLIs, a service retries and
+// hedges by default.
+func defineFlags(fs *flag.FlagSet) *serveOptions {
+	o := &serveOptions{}
+	sr := exp.ServingResilience()
+	fs.Var((*cliutil.CSVList)(&o.CSVPaths), "csv", "CSV data table (header row first); repeat for multi-table databases")
+	fs.StringVar(&o.TableName, "table", "", "table name for a single CSV (default: file base name)")
+	fs.StringVar(&o.Addr, "addr", ":8080", "listen address")
+	fs.Float64Var(&o.Target, "target", 0.99, "accuracy target in (0,1]")
+	fs.Int64Var(&o.Seed, "seed", 1, "random seed for the simulated models")
+	fs.IntVar(&o.Workers, "workers", 8, "concurrent claim verifications per micro-batch; results are identical for any value")
+	fs.StringVar(&o.StatsPath, "stats", "", "profiling statistics JSON (from cedar-profile -o); skips built-in profiling")
+	fs.IntVar(&o.MaxBatch, "max-batch", 8, "documents coalesced into one micro-batch at most")
+	fs.DurationVar(&o.BatchWait, "batch-wait", 2*time.Millisecond, "how long to linger for more requests before flushing a partial micro-batch")
+	fs.IntVar(&o.QueueDepth, "queue-depth", 64, "admitted requests waiting for a batch slot before new ones shed with 429")
+	fs.DurationVar(&o.RequestTimeout, "request-timeout", 60*time.Second, "per-request deadline propagated via context; expired requests answer 504")
+	fs.DurationVar(&o.RetryAfter, "retry-after", 0, "Retry-After hint on 429 responses (default: estimated queue drain time, min 1s)")
+	fs.DurationVar(&o.DrainTimeout, "drain-timeout", 30*time.Second, "how long graceful shutdown waits for admitted requests to finish")
+	fs.IntVar(&o.Retries, "retries", sr.Retries, "retry failed retryable model calls up to N additional times (capped backoff, seeded jitter)")
+	fs.DurationVar(&o.Timeout, "timeout", sr.Timeout, "per-call simulated deadline across retries; 0 disables")
+	fs.DurationVar(&o.HedgeAfter, "hedge", sr.HedgeAfter, "race a backup model call once the primary exceeds this simulated latency; 0 disables")
+	fs.IntVar(&o.Breaker, "breaker", 0, "trip a per-model circuit breaker after N consecutive failures; 0 disables (order-dependent, see DESIGN.md §9)")
+	fs.Float64Var(&o.FaultRate, "fault-rate", 0, "inject deterministic transport faults at this per-attempt probability (chaos testing)")
+	return o
+}
+
+func main() {
+	o := defineFlags(flag.CommandLine)
+	flag.Parse()
+	if len(o.CSVPaths) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "cedar-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// newServer builds the serving stack — database, profiled System, backend
+// adapter, HTTP server — without binding a listener, so tests can drive it
+// through httptest.
+func newServer(o *serveOptions) (*serve.Server, error) {
+	db, dbName, err := cliutil.LoadDatabase(o.CSVPaths, o.TableName)
+	if err != nil {
+		return nil, err
+	}
+	// The tracer feeds the per-method rollups of GET /v1/metrics; the
+	// backend resets it each micro-batch, so memory stays bounded.
+	tracer := cedar.NewTracer()
+	sys, err := cedar.New(cedar.Options{
+		Seed:             o.Seed,
+		AccuracyTarget:   o.Target,
+		Workers:          o.Workers,
+		Retries:          o.Retries,
+		Timeout:          o.Timeout,
+		HedgeAfter:       o.HedgeAfter,
+		BreakerThreshold: o.Breaker,
+		FaultRate:        o.FaultRate,
+		Tracer:           tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if o.StatsPath != "" {
+		stats, err := profile.LoadStats(o.StatsPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.SetStats(stats); err != nil {
+			return nil, err
+		}
+	} else {
+		// The same built-in profiling corpus cmd/cedar uses, so a served
+		// run reproduces a CLI run of the same seed exactly.
+		profDocs, err := cedar.Benchmark(cedar.BenchAggChecker, o.Seed+100)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.ProfileOn(profDocs[:6]); err != nil {
+			return nil, err
+		}
+	}
+	backend := serve.BackendFunc(func(docs []*cedar.Document) (serve.RunStats, error) {
+		rep, err := sys.Verify(docs)
+		if err != nil {
+			return serve.RunStats{}, err
+		}
+		return serve.RunStats{Claims: rep.Claims, Dollars: rep.Dollars, Calls: rep.Calls}, nil
+	})
+	return serve.New(serve.Config{
+		Backend:        backend,
+		DB:             db,
+		DocID:          dbName,
+		MaxBatch:       o.MaxBatch,
+		BatchWait:      o.BatchWait,
+		QueueDepth:     o.QueueDepth,
+		RequestTimeout: o.RequestTimeout,
+		RetryAfter:     o.RetryAfter,
+		Schedule:       sys.Schedule(),
+		Resilience:     func() metrics.ResilienceSnapshot { return sys.Resilience() },
+		Tracer:         tracer,
+	})
+}
+
+func run(o *serveOptions) error {
+	srv, err := newServer(o)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              o.Addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("cedar-serve: listening on %s", o.Addr)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain, in order: stop admitting and verify everything
+	// already accepted, then close the listener so in-flight handlers
+	// deliver their responses before the process exits.
+	log.Printf("cedar-serve: draining (admitted requests finish, new ones get 503)")
+	dctx, cancel := context.WithTimeout(context.Background(), o.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return err
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("cedar-serve: drained cleanly")
+	return nil
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/doclint"
+)
+
+// TestDoclintFlags is this binary's half of the documented-surface gate:
+// every flag defineFlags registers must appear in the cedar section of
+// docs/CLI.md.
+func TestDoclintFlags(t *testing.T) {
+	doc, err := doclint.CLIDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("cedar", flag.ContinueOnError)
+	defineFlags(fs)
+	missing, err := doclint.MissingFlags(doc, "cedar", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("flags undocumented in docs/CLI.md: -%s", strings.Join(missing, ", -"))
+	}
+}

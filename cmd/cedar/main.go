@@ -19,25 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
 	"time"
 
 	"repro/cedar"
+	"repro/internal/cliutil"
 	"repro/internal/profile"
 	"repro/internal/report"
 )
-
-// csvList collects repeated -csv flags so multi-table (join) databases can
-// be loaded: cedar -csv airlines.csv -csv safety.csv ...
-type csvList []string
-
-func (c *csvList) String() string { return strings.Join(*c, ",") }
-
-func (c *csvList) Set(v string) error {
-	*c = append(*c, v)
-	return nil
-}
 
 type claimInput struct {
 	ID       string `json:"id"`
@@ -54,50 +42,38 @@ type claimOutput struct {
 	Query    string `json:"query,omitempty"`
 }
 
+// defineFlags registers the binary's flags on fs, bound to the returned
+// options. Split from main so the doclint test can walk the registered
+// FlagSet against docs/CLI.md.
+func defineFlags(fs *flag.FlagSet) *runOptions {
+	o := &runOptions{}
+	fs.Var((*cliutil.CSVList)(&o.CSVPaths), "csv", "CSV data table (header row first); repeat for multi-table databases")
+	fs.StringVar(&o.TableName, "table", "", "table name for a single CSV (default: file base name)")
+	fs.StringVar(&o.ClaimsPath, "claims", "", "JSON file with the claims to verify")
+	fs.Float64Var(&o.Target, "target", 0.99, "accuracy target in (0,1]")
+	fs.Int64Var(&o.Seed, "seed", 1, "random seed for the simulated models")
+	fs.IntVar(&o.Workers, "workers", 1, "concurrent claim verifications; results are identical for any value")
+	fs.BoolVar(&o.AsJSON, "json", false, "emit results as JSON")
+	fs.StringVar(&o.StatsPath, "stats", "", "profiling statistics JSON (from cedar-profile -o); skips built-in profiling")
+	fs.StringVar(&o.HTMLPath, "html", "", "also write a demo-style HTML report to this file")
+	fs.IntVar(&o.Retries, "retries", 0, "retry failed retryable model calls up to N additional times (capped backoff, seeded jitter)")
+	fs.DurationVar(&o.Timeout, "timeout", 0, "per-call simulated deadline across retries (e.g. 30s); 0 disables")
+	fs.DurationVar(&o.HedgeAfter, "hedge", 0, "race a backup model call once the primary exceeds this simulated latency; 0 disables")
+	fs.IntVar(&o.Breaker, "breaker", 0, "trip a per-model circuit breaker after N consecutive failures; 0 disables (order-dependent, see DESIGN.md §9)")
+	fs.Float64Var(&o.FaultRate, "fault-rate", 0, "inject deterministic transport faults at this per-attempt probability (chaos testing)")
+	fs.StringVar(&o.TracePath, "trace", "", "write the run's attempt-level trace as sorted JSONL to this file")
+	fs.BoolVar(&o.TraceSummary, "trace-summary", false, "print per-method/per-model trace rollups and the run manifest to stderr")
+	return o
+}
+
 func main() {
-	var csvPaths csvList
-	flag.Var(&csvPaths, "csv", "CSV data table (header row first); repeat for multi-table databases")
-	var (
-		tableName  = flag.String("table", "", "table name for a single CSV (default: file base name)")
-		claimsPath = flag.String("claims", "", "JSON file with the claims to verify")
-		target     = flag.Float64("target", 0.99, "accuracy target in (0,1]")
-		seed       = flag.Int64("seed", 1, "random seed for the simulated models")
-		workers    = flag.Int("workers", 1, "concurrent claim verifications; results are identical for any value")
-		asJSON     = flag.Bool("json", false, "emit results as JSON")
-		statsPath  = flag.String("stats", "", "profiling statistics JSON (from cedar-profile -o); skips built-in profiling")
-		htmlPath   = flag.String("html", "", "also write a demo-style HTML report to this file")
-		retries    = flag.Int("retries", 0, "retry failed retryable model calls up to N additional times (capped backoff, seeded jitter)")
-		timeout    = flag.Duration("timeout", 0, "per-call simulated deadline across retries (e.g. 30s); 0 disables")
-		hedge      = flag.Duration("hedge", 0, "race a backup model call once the primary exceeds this simulated latency; 0 disables")
-		breaker    = flag.Int("breaker", 0, "trip a per-model circuit breaker after N consecutive failures; 0 disables (order-dependent, see DESIGN.md §9)")
-		faultRate  = flag.Float64("fault-rate", 0, "inject deterministic transport faults at this per-attempt probability (chaos testing)")
-		tracePath  = flag.String("trace", "", "write the run's attempt-level trace as sorted JSONL to this file")
-		traceSum   = flag.Bool("trace-summary", false, "print per-method/per-model trace rollups and the run manifest to stderr")
-	)
+	o := defineFlags(flag.CommandLine)
 	flag.Parse()
-	if len(csvPaths) == 0 || *claimsPath == "" {
+	if len(o.CSVPaths) == 0 || o.ClaimsPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	err := run(runOptions{
-		CSVPaths:   csvPaths,
-		TableName:  *tableName,
-		ClaimsPath: *claimsPath,
-		Target:     *target,
-		Seed:       *seed,
-		Workers:    *workers,
-		AsJSON:     *asJSON,
-		StatsPath:  *statsPath,
-		HTMLPath:   *htmlPath,
-		Retries:      *retries,
-		Timeout:      *timeout,
-		HedgeAfter:   *hedge,
-		Breaker:      *breaker,
-		FaultRate:    *faultRate,
-		TracePath:    *tracePath,
-		TraceSummary: *traceSum,
-	})
-	if err != nil {
+	if err := run(*o); err != nil {
 		fmt.Fprintln(os.Stderr, "cedar:", err)
 		os.Exit(1)
 	}
@@ -105,15 +81,15 @@ func main() {
 
 // runOptions carries the parsed command line into run.
 type runOptions struct {
-	CSVPaths   []string
-	TableName  string
-	ClaimsPath string
-	Target     float64
-	Seed       int64
-	Workers    int
-	AsJSON     bool
-	StatsPath  string
-	HTMLPath   string
+	CSVPaths     []string
+	TableName    string
+	ClaimsPath   string
+	Target       float64
+	Seed         int64
+	Workers      int
+	AsJSON       bool
+	StatsPath    string
+	HTMLPath     string
 	Retries      int
 	Timeout      time.Duration
 	HedgeAfter   time.Duration
@@ -124,31 +100,9 @@ type runOptions struct {
 }
 
 func run(o runOptions) error {
-	csvPaths := o.CSVPaths
-	tableName := o.TableName
-	if tableName != "" && len(csvPaths) > 1 {
-		return fmt.Errorf("-table applies to a single -csv; multi-table databases name tables by file")
-	}
-	dbName := tableName
-	if dbName == "" {
-		dbName = strings.TrimSuffix(filepath.Base(csvPaths[0]), filepath.Ext(csvPaths[0]))
-	}
-	db := cedar.NewDatabase(dbName)
-	for _, path := range csvPaths {
-		name := tableName
-		if name == "" || len(csvPaths) > 1 {
-			name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		}
-		csvFile, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		table, err := cedar.LoadCSVTable(name, csvFile)
-		csvFile.Close()
-		if err != nil {
-			return err
-		}
-		db.AddTable(table)
+	db, dbName, err := cliutil.LoadDatabase(o.CSVPaths, o.TableName)
+	if err != nil {
+		return err
 	}
 
 	raw, err := os.ReadFile(o.ClaimsPath)
@@ -206,7 +160,10 @@ func run(o runOptions) error {
 			return err
 		}
 	}
-	rep, err := sys.Verify([]*cedar.Document{doc})
+	// The claims run through the same request-scoped entry point cedar-serve
+	// uses, with the database name as the seeding document ID — which is why
+	// serving the same claims over HTTP reproduces this run bit for bit.
+	rep, err := sys.VerifyClaims(dbName, db, doc.Claims)
 	if err != nil {
 		return err
 	}

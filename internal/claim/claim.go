@@ -32,6 +32,31 @@ type Claim struct {
 	Result Result
 }
 
+// New builds a claim from a sentence, the claimed value as it appears in
+// the sentence, and the surrounding context paragraph, locating the value's
+// token span automatically. It is the shared constructor behind
+// cedar.NewClaim and the cedar-serve wire decoder, so every ingress path
+// (library, CLI, HTTP) produces identical claim structures.
+func New(id, sentence, value, context string) (*Claim, error) {
+	span, ok := textutil.FindValueSpan(sentence, value)
+	if !ok {
+		return nil, fmt.Errorf("claim: value %q does not occur in sentence %q", value, sentence)
+	}
+	if context == "" {
+		context = sentence
+	}
+	if !strings.Contains(context, sentence) {
+		context = context + " " + sentence
+	}
+	return &Claim{
+		ID:       id,
+		Sentence: sentence,
+		Span:     span,
+		Context:  context,
+		Value:    value,
+	}, nil
+}
+
 // Gold is ground truth attached to generated claims for scoring.
 type Gold struct {
 	// Query is a SQL query representing the claim semantics.

@@ -1,0 +1,163 @@
+// Package doclint enforces the repository's documented-surface guarantee:
+// every flag a binary registers must be documented in docs/CLI.md, and
+// every Go package must carry a package comment. It is a library consumed
+// by tests — each cmd package has a doclint_test.go walking its own
+// flag.FlagSet, and the package-comment sweep runs from this package's own
+// test — so `make doclint` (part of `make check` and CI) fails the build
+// when code and documentation drift apart.
+package doclint
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// RepoRoot locates the repository root by walking up from the current
+// directory to the nearest go.mod — tests run with the package directory as
+// their working directory, so this finds the checkout they belong to.
+func RepoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("doclint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// CLIDoc reads docs/CLI.md from the repository root.
+func CLIDoc() (string, error) {
+	root, err := RepoRoot()
+	if err != nil {
+		return "", err
+	}
+	raw, err := os.ReadFile(filepath.Join(root, "docs", "CLI.md"))
+	if err != nil {
+		return "", fmt.Errorf("doclint: reading flag reference: %w", err)
+	}
+	return string(raw), nil
+}
+
+// BinarySection extracts the named binary's section of docs/CLI.md: from
+// its "## <binary>" heading to the next "## " heading. Scoping the flag
+// check to the section means a flag documented only for another binary
+// still fails — each binary's reference must be complete on its own.
+func BinarySection(doc, binary string) (string, error) {
+	heading := "## " + binary
+	lines := strings.Split(doc, "\n")
+	start := -1
+	for i, line := range lines {
+		if strings.TrimRight(line, " \t") == heading {
+			start = i + 1
+			break
+		}
+	}
+	if start < 0 {
+		return "", fmt.Errorf("doclint: docs/CLI.md has no %q section", heading)
+	}
+	end := len(lines)
+	for i := start; i < len(lines); i++ {
+		if strings.HasPrefix(lines[i], "## ") {
+			end = i
+			break
+		}
+	}
+	return strings.Join(lines[start:end], "\n"), nil
+}
+
+// MissingFlags walks every flag registered on fs and returns the names not
+// documented in the binary's docs/CLI.md section. A flag counts as
+// documented when the section contains it as inline code — `-name` alone
+// or with an argument placeholder, `-name arg`.
+func MissingFlags(doc, binary string, fs *flag.FlagSet) ([]string, error) {
+	section, err := BinarySection(doc, binary)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	fs.VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(section, "`-"+f.Name+"`") &&
+			!strings.Contains(section, "`-"+f.Name+" ") {
+			missing = append(missing, f.Name)
+		}
+	})
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// MissingPackageComments parses every Go package under the repository root
+// and returns the directories (relative to the root) whose package lacks a
+// package comment on any of its non-test files. Test-only directories and
+// testdata are skipped; examples are held to the same standard as shipped
+// code.
+func MissingPackageComments(root string) ([]string, error) {
+	var missing []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return fs.SkipDir
+		}
+		ok, found, err := packageHasComment(path)
+		if err != nil {
+			return err
+		}
+		if found && !ok {
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			missing = append(missing, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// packageHasComment reports whether the directory holds non-test Go files
+// (found) and whether any of them carries a package doc comment (ok).
+func packageHasComment(dir string) (ok, found bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		found = true
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return false, true, err
+		}
+		if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+			return true, true, nil
+		}
+	}
+	return false, found, nil
+}

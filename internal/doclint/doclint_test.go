@@ -1,0 +1,53 @@
+package doclint
+
+import (
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDoclintPackageComments is the repo-wide half of the documented-surface
+// gate: every shipped package must open with a package comment.
+func TestDoclintPackageComments(t *testing.T) {
+	root, err := RepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, err := MissingPackageComments(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("packages missing a package comment:\n  %s", strings.Join(missing, "\n  "))
+	}
+}
+
+func TestRepoRootFindsGoMod(t *testing.T) {
+	root, err := RepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(root) != "repo" {
+		t.Errorf("RepoRoot = %q, want the checkout directory", root)
+	}
+}
+
+func TestBinarySectionScoping(t *testing.T) {
+	doc := "# CLI\n\n## cedar\n\n`-csv` data\n\n## cedar-serve\n\n`-addr` listen\n"
+	fs := flag.NewFlagSet("cedar-serve", flag.ContinueOnError)
+	fs.String("addr", "", "")
+	fs.String("csv", "", "")
+	missing, err := MissingFlags(doc, "cedar-serve", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -csv is documented, but only in the cedar section: it must still count
+	// as missing for cedar-serve.
+	if len(missing) != 1 || missing[0] != "csv" {
+		t.Errorf("missing = %v, want [csv]", missing)
+	}
+	if _, err := MissingFlags(doc, "cedar-bench", fs); err == nil {
+		t.Error("expected an error for a binary without a section")
+	}
+}

@@ -1,0 +1,296 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/claim"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// ServingResilience is the recommended middleware configuration for serving
+// mode, used as the cedar-serve flag defaults. A batch run can afford to
+// fail a claim and report it; an interactive service should spend tokens to
+// avoid making the caller retry. Hence: two retries (recovers virtually all
+// transient faults at the fault rates measured in EXPERIMENTS.md), a
+// per-call deadline above the slowest method's p99 simulated latency
+// (~2.4s) with backoff headroom, and a hedge just beyond it so tail calls
+// race a backup instead of stalling a whole micro-batch. The breaker stays
+// off by default because its shared state is order-dependent (DESIGN.md
+// §9): enabling it is an explicit operator choice to trade bit-determinism
+// for load shedding.
+func ServingResilience() ResilienceOptions {
+	return ResilienceOptions{
+		Retries:    2,
+		Timeout:    30 * time.Second,
+		HedgeAfter: 5 * time.Second,
+	}
+}
+
+// ServeBenchRow is one cell of the serving-mode throughput matrix.
+type ServeBenchRow struct {
+	Workers   int
+	FaultRate float64
+	// Requests served and claims verified.
+	Requests int
+	Claims   int
+	// ReqPerSec is served throughput over the measurement wall time.
+	ReqPerSec float64
+	// E2E are end-to-end request latency quantiles (admission to response,
+	// real wall clock) as reported by the server's own GET /v1/metrics.
+	E2E serve.LatencyQuantiles
+	// SimAttempt are the per-attempt simulated-latency quantiles of the
+	// slowest method observed, from the tracer rollups behind /v1/metrics.
+	SimAttempt serve.LatencyQuantiles
+	// Dollars is the total fee of the served traffic.
+	Dollars float64
+}
+
+// ServeBenchResult is the serving-mode counterpart of the batch throughput
+// tables: requests/sec and latency quantiles under load, per worker count
+// and fault rate.
+type ServeBenchResult struct {
+	Rows []ServeBenchRow
+}
+
+// serveBenchRequests is the load per matrix cell: enough concurrent
+// requests to keep several micro-batches in flight without making
+// `cedar-bench servebench` take minutes.
+const (
+	serveBenchRequests = 48
+	serveBenchClients  = 16
+)
+
+// ServeBench boots an in-process cedar-serve instance per (workers, fault
+// rate) cell, fires a fixed concurrent request load at POST /v1/verify, and
+// reads the resulting throughput and latency quantiles back from the
+// server's GET /v1/metrics endpoint — the table is built from the serving
+// observability surface, not from instrumentation bolted onto the test.
+// Every request carries the same database's claims under a distinct doc_id,
+// modeling many readers verifying claims against one dataset.
+func ServeBench(seed int64, workers int) (*ServeBenchResult, error) {
+	// The worker count is this table's independent variable, so the matrix
+	// is fixed at {1, 8} (matching the batch throughput tables) rather than
+	// taking the -workers flag.
+	_ = workers
+	workerCounts := []int{1, 8}
+	res := &ServeBenchResult{}
+	for _, w := range workerCounts {
+		for _, fr := range []float64{0, 0.2} {
+			row, err := serveBenchCell(seed, w, fr)
+			if err != nil {
+				return nil, fmt.Errorf("servebench workers=%d fault=%.1f: %w", w, fr, err)
+			}
+			res.Rows = append(res.Rows, *row)
+		}
+	}
+	return res, nil
+}
+
+func serveBenchCell(seed int64, workers int, faultRate float64) (*ServeBenchRow, error) {
+	tracer := trace.New()
+	ro := ServingResilience()
+	ro.FaultRate = faultRate
+	ro.Tracer = tracer
+	stack, err := NewStackResilient(seed, ro)
+	if err != nil {
+		return nil, err
+	}
+	stack.Workers = workers
+	stack.Tracer = tracer
+	profDocs, err := data.AggChecker(profileSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	stats, err := stack.Profile(profDocs[:6])
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := core.New(core.Config{
+		Methods:        stack.Methods,
+		Stats:          stats,
+		AccuracyTarget: 0.99,
+		Seed:           seed,
+		Workers:        workers,
+		Tracer:         tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	docs, err := data.AggChecker(seed)
+	if err != nil {
+		return nil, err
+	}
+	// The workload database and claims: one dataset, many readers.
+	source := docs[0]
+
+	// The batch loop serializes backend calls, and the totals are read only
+	// after every response has arrived, so plain accumulation is safe.
+	var dollars float64
+	var claims int
+	backend := serve.BackendFunc(func(batch []*claim.Document) (serve.RunStats, error) {
+		stack.Ledger.Reset()
+		tracer.Reset()
+		pipe.VerifyDocumentsParallel(batch, workers)
+		st := serve.RunStats{
+			Claims:  claim.TotalClaims(batch),
+			Dollars: stack.Ledger.TotalDollars(),
+			Calls:   stack.Ledger.TotalCalls(),
+		}
+		dollars += st.Dollars
+		claims += st.Claims
+		return st, nil
+	})
+	srv, err := serve.New(serve.Config{
+		Backend:    backend,
+		DB:         source.Data,
+		DocID:      source.ID,
+		MaxBatch:   serveBenchClients,
+		QueueDepth: serveBenchRequests,
+		Tracer:     tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, err := verifyRequestBody(source)
+	if err != nil {
+		return nil, err
+	}
+	started := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, serveBenchClients)
+	// Pre-filled and closed before the clients start, so a client erroring
+	// out early never strands a blocked sender.
+	reqs := make(chan int, serveBenchRequests)
+	for i := 0; i < serveBenchRequests; i++ {
+		reqs <- i
+	}
+	close(reqs)
+	for c := 0; c < serveBenchClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range reqs {
+				payload := strings.Replace(body, `"doc_id":"DOC"`, fmt.Sprintf(`"doc_id":"req-%d"`, i), 1)
+				resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader([]byte(payload)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("request %d: status %d", i, resp.StatusCode)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(started)
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	met, err := fetchMetrics(ts.URL)
+	if err != nil {
+		return nil, err
+	}
+	row := &ServeBenchRow{
+		Workers:   workers,
+		FaultRate: faultRate,
+		Requests:  serveBenchRequests,
+		Claims:    claims,
+		ReqPerSec: float64(serveBenchRequests) / wall.Seconds(),
+		E2E:       met.LatencyMS,
+		Dollars:   dollars,
+	}
+	// Report the slowest method's simulated-latency quantiles — the tail
+	// that hedging and batching are supposed to hide.
+	for _, m := range met.Methods {
+		if m.SimLatencyMS.P99 > row.SimAttempt.P99 {
+			row.SimAttempt = m.SimLatencyMS
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// verifyRequestBody renders one document's claims as a POST /v1/verify body
+// with a DOC placeholder for the per-request document ID.
+func verifyRequestBody(doc *claim.Document) (string, error) {
+	req := serve.VerifyRequest{DocID: "DOC"}
+	for _, c := range doc.Claims {
+		req.Claims = append(req.Claims, serve.ClaimInput{
+			ID:       c.ID,
+			Sentence: c.Sentence,
+			Value:    c.Value,
+			Context:  c.Context,
+		})
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func fetchMetrics(baseURL string) (*serve.MetricsResponse, error) {
+	resp, err := http.Get(baseURL + "/v1/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var met serve.MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&met); err != nil {
+		return nil, err
+	}
+	return &met, nil
+}
+
+// Render prints the serving-mode throughput matrix.
+func (r *ServeBenchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-6s %9s %8s %10s %10s %10s %10s %12s %10s\n",
+		"workers", "fault", "requests", "claims", "req/s", "e2e p50", "e2e p95", "e2e p99", "sim p99", "fee($)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d %-6.1f %9d %8d %10.1f %9.1fms %9.1fms %9.1fms %11.0fms %10.4f\n",
+			row.Workers, row.FaultRate, row.Requests, row.Claims, row.ReqPerSec,
+			row.E2E.P50, row.E2E.P95, row.E2E.P99, row.SimAttempt.P99, row.Dollars)
+	}
+	return b.String()
+}
+
+// CSV renders the matrix as one row per (workers, fault rate) cell.
+func (r *ServeBenchResult) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Workers), f(row.FaultRate),
+			fmt.Sprintf("%d", row.Requests), fmt.Sprintf("%d", row.Claims),
+			f(row.ReqPerSec), f(row.E2E.P50), f(row.E2E.P95), f(row.E2E.P99),
+			f(row.SimAttempt.P99), f(row.Dollars),
+		})
+	}
+	return csvString([]string{"workers", "fault_rate", "requests", "claims",
+		"req_per_sec", "e2e_p50_ms", "e2e_p95_ms", "e2e_p99_ms", "sim_attempt_p99_ms", "dollars"}, rows)
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/claim"
+	"repro/internal/trace"
+)
+
+// job is one admitted request waiting for a micro-batch slot: the
+// request's documents, its context (deadline + client disconnect), and the
+// channel its batch outcome is delivered on.
+type job struct {
+	docs []*claim.Document
+	ctx  context.Context
+	// done receives exactly one jobResult; buffered so the batch loop never
+	// blocks on a handler that already gave up.
+	done chan jobResult
+}
+
+// jobResult is the batch outcome delivered to one job's handler. The job's
+// documents are annotated in place by the backend; the handler reads them
+// only after receiving this (the channel send orders the memory accesses).
+type jobResult struct {
+	stats BatchStats
+	err   error
+}
+
+func newJob(ctx context.Context, docs []*claim.Document) *job {
+	return &job{docs: docs, ctx: ctx, done: make(chan jobResult, 1)}
+}
+
+// batchLoop is the single goroutine that converts the admitted-request
+// queue into pipeline runs. One loop — not one per batch — so runs are
+// serialized exactly as the run-scoped ledger and tracer require, and so a
+// closed queue drains in admission order before the loop exits.
+func (s *Server) batchLoop() {
+	defer close(s.loopDone)
+	for {
+		j, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := []*job{j}
+		// Linger for BatchWait to coalesce concurrent arrivals, but never
+		// beyond MaxBatch documents. A closed queue ends the linger early;
+		// buffered jobs still arrive before ok turns false, so drain order
+		// is preserved.
+		if s.cfg.BatchWait > 0 {
+			timer := time.NewTimer(s.cfg.BatchWait)
+		gather:
+			for s.batchDocs(batch) < s.cfg.MaxBatch {
+				select {
+				case nj, ok := <-s.queue:
+					if !ok {
+						break gather
+					}
+					batch = append(batch, nj)
+				case <-timer.C:
+					break gather
+				}
+			}
+			timer.Stop()
+		} else {
+			// Immediate mode: take only what is already queued.
+			for s.batchDocs(batch) < s.cfg.MaxBatch {
+				select {
+				case nj, ok := <-s.queue:
+					if !ok {
+						goto run
+					}
+					batch = append(batch, nj)
+				default:
+					goto run
+				}
+			}
+		}
+	run:
+		s.runBatch(batch)
+	}
+}
+
+// batchDocs counts the documents gathered so far; the batch size limit is
+// in documents (the pipeline's unit of work), not requests.
+func (s *Server) batchDocs(batch []*job) int {
+	n := 0
+	for _, j := range batch {
+		n += len(j.docs)
+	}
+	return n
+}
+
+// runBatch verifies one micro-batch: jobs whose context already expired are
+// dropped (their claims are never attempted, so nothing is billed for
+// them), the rest share a single backend run, and every job is answered
+// with the batch totals.
+func (s *Server) runBatch(batch []*job) {
+	live := batch[:0]
+	var docs []*claim.Document
+	for _, j := range batch {
+		if err := j.ctx.Err(); err != nil {
+			j.done <- jobResult{err: err}
+			continue
+		}
+		live = append(live, j)
+		docs = append(docs, j.docs...)
+	}
+	if len(docs) == 0 {
+		return
+	}
+	stats, err := s.cfg.Backend.VerifyDocuments(docs)
+	bs := BatchStats{Docs: len(docs), Claims: stats.Claims, Dollars: stats.Dollars, Calls: stats.Calls}
+	if err == nil {
+		s.met.recordBatch(bs)
+		s.harvestTrace()
+	}
+	for _, j := range live {
+		j.done <- jobResult{stats: bs, err: err}
+	}
+}
+
+// harvestTrace folds the just-finished run's spans into the cumulative
+// per-method metrics. The backend resets the tracer at each run start, so
+// the spans visible here belong to exactly one micro-batch.
+func (s *Server) harvestTrace() {
+	if !s.cfg.Tracer.Enabled() {
+		return
+	}
+	for _, sp := range s.cfg.Tracer.Spans() {
+		if sp.Kind != trace.KindAttempt {
+			continue
+		}
+		s.met.recordAttempt(sp)
+	}
+}

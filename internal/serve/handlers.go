@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/claim"
+)
+
+// maxBodyBytes caps request bodies; claim batches are text, so 8 MiB is
+// generous while still bounding what one request can pin in memory.
+const maxBodyBytes = 8 << 20
+
+// routes builds the HTTP surface. Every route is documented in docs/CLI.md;
+// doclint guards the flag surface, the e2e tests guard these.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// requestContext applies the configured per-request deadline on top of the
+// client's own cancellation.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// decodeBody strictly decodes a JSON request body into dst.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.met.inc(&s.met.badRequests)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decoding request body: %v", err), 0)
+		return false
+	}
+	return true
+}
+
+// buildDocuments converts the wire documents of one request.
+func (s *Server) buildDocuments(ins []DocumentInput) ([]*claim.Document, error) {
+	docs := make([]*claim.Document, 0, len(ins))
+	for i, in := range ins {
+		doc, err := s.buildDocument(in)
+		if err != nil {
+			return nil, fmt.Errorf("documents[%d]: %w", i, err)
+		}
+		docs = append(docs, doc)
+	}
+	return docs, nil
+}
+
+// serveDocuments is the shared verification path of both POST routes:
+// admit the documents as one job, wait for its micro-batch, and return the
+// batch stats. A non-nil apiError was already counted and must be rendered.
+func (s *Server) serveDocuments(ctx context.Context, docs []*claim.Document) (BatchStats, *apiError) {
+	j, aerr := s.admit(ctx, docs)
+	if aerr != nil {
+		return BatchStats{}, aerr
+	}
+	res, aerr := s.await(ctx, j)
+	if aerr != nil {
+		return BatchStats{}, aerr
+	}
+	return res.stats, nil
+}
+
+// handleVerify answers POST /v1/verify: one document's claims, one verdict
+// set. Internally it is the single-document case of the batch path.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	var req VerifyRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	doc, err := s.buildDocument(DocumentInput{DocID: req.DocID, Claims: req.Claims})
+	if err != nil {
+		s.met.inc(&s.met.badRequests)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error(), 0)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	stats, aerr := s.serveDocuments(ctx, []*claim.Document{doc})
+	if aerr != nil {
+		s.renderError(w, aerr)
+		return
+	}
+	dr := documentResult(doc)
+	s.met.recordRequest(time.Since(started))
+	writeJSON(w, http.StatusOK, VerifyResponse{DocID: dr.DocID, Claims: dr.Claims, Batch: stats})
+}
+
+// handleVerifyBatch answers POST /v1/verify/batch: several documents
+// verified together. The whole request is admitted as one job, so its
+// documents always share a run and the response's batch totals cover at
+// least them.
+func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Documents) == 0 {
+		s.met.inc(&s.met.badRequests)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "batch request has no documents", 0)
+		return
+	}
+	docs, err := s.buildDocuments(req.Documents)
+	if err != nil {
+		s.met.inc(&s.met.badRequests)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error(), 0)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	stats, aerr := s.serveDocuments(ctx, docs)
+	if aerr != nil {
+		s.renderError(w, aerr)
+		return
+	}
+	out := BatchResponse{Batch: stats}
+	for _, d := range docs {
+		out.Documents = append(out.Documents, documentResult(d))
+	}
+	s.met.recordRequest(time.Since(started))
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStatus answers GET /v1/status with the serving state.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	state := "serving"
+	if s.Draining() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, StatusResponse{
+		State:       state,
+		QueueDepth:  len(s.queue),
+		QueueCap:    s.cfg.QueueDepth,
+		MaxBatch:    s.cfg.MaxBatch,
+		BatchWaitMS: s.cfg.BatchWait.Milliseconds(),
+		Schedule:    s.cfg.Schedule,
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+	})
+}
+
+// handleMetrics answers GET /v1/metrics with the cumulative counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body := s.met.snapshot()
+	if s.cfg.Resilience != nil {
+		rs := s.cfg.Resilience()
+		body.Resilience = &ResilienceCounters{
+			Attempts:      rs.Attempts,
+			Retries:       rs.Retries,
+			Faults:        rs.Faults,
+			RateLimited:   rs.RateLimited,
+			Timeouts:      rs.Timeouts,
+			Transient:     rs.Transient,
+			Permanent:     rs.Permanent,
+			Hedges:        rs.Hedges,
+			HedgeWins:     rs.HedgeWins,
+			BreakerTrips:  rs.BreakerTrips,
+			BreakerSheds:  rs.BreakerSheds,
+			BreakerProbes: rs.BreakerProbes,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleHealthz answers GET /healthz: 200 "ok" while serving, 503 while
+// draining so orchestrators stop routing here during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// renderError writes an admission/await error with its envelope and, for
+// shed responses, the Retry-After hint.
+func (s *Server) renderError(w http.ResponseWriter, e *apiError) {
+	retry := time.Duration(0)
+	if e.retryAfter {
+		retry = s.cfg.RetryAfter
+	}
+	writeError(w, e.status, e.code, e.msg, retry)
+}

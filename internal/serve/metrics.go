@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// latencyWindowSize bounds the sliding windows behind the /v1/metrics
+// quantiles. Counters and fee totals are exact and cumulative; quantiles
+// cover the most recent window of samples so a long-lived server reports
+// current behavior, not its whole history, at bounded memory.
+const latencyWindowSize = 4096
+
+// serveMetrics accumulates the server's operational counters. All methods
+// are safe for concurrent use.
+type serveMetrics struct {
+	mu sync.Mutex
+
+	requests         int64 // verification requests received (both routes)
+	rejectedDraining int64
+	shedOverload     int64
+	deadlineExpired  int64
+	badRequests      int64
+	internalErrors   int64
+
+	batches int64
+	docs    int64
+	claims  int64
+	dollars float64
+	calls   int64
+
+	e2e     *window
+	methods map[string]*methodAgg
+}
+
+// methodAgg is the cumulative per-method view fed from attempt spans.
+type methodAgg struct {
+	attempts, errors         int64
+	promptTokens, compTokens int64
+	fee                      float64
+	lat                      *window
+}
+
+func newServeMetrics() *serveMetrics {
+	return &serveMetrics{e2e: newWindow(latencyWindowSize), methods: make(map[string]*methodAgg)}
+}
+
+func (m *serveMetrics) inc(field *int64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+func (m *serveMetrics) recordRequest(elapsed time.Duration) {
+	m.mu.Lock()
+	m.requests++
+	m.e2e.add(elapsed)
+	m.mu.Unlock()
+}
+
+func (m *serveMetrics) recordBatch(bs BatchStats) {
+	m.mu.Lock()
+	m.batches++
+	m.docs += int64(bs.Docs)
+	m.claims += int64(bs.Claims)
+	m.dollars += bs.Dollars
+	m.calls += int64(bs.Calls)
+	m.mu.Unlock()
+}
+
+func (m *serveMetrics) recordAttempt(sp trace.Span) {
+	method := sp.Method
+	if method == "" {
+		method = "(untracked)"
+	}
+	m.mu.Lock()
+	a := m.methods[method]
+	if a == nil {
+		a = &methodAgg{lat: newWindow(latencyWindowSize)}
+		m.methods[method] = a
+	}
+	a.attempts++
+	if sp.Outcome != trace.OutcomeOK {
+		a.errors++
+	}
+	a.promptTokens += int64(sp.PromptTokens)
+	a.compTokens += int64(sp.CompletionTokens)
+	a.fee += sp.Fee
+	a.lat.add(sp.Latency)
+	m.mu.Unlock()
+}
+
+// MetricsResponse is the body answering GET /v1/metrics.
+type MetricsResponse struct {
+	// Requests tallies admission outcomes since startup.
+	Requests RequestCounters `json:"requests"`
+	// Verify tallies micro-batch runs: batches, documents, claims, and the
+	// cumulative fee/call totals of everything served.
+	Verify VerifyCounters `json:"verify"`
+	// LatencyMS gives end-to-end request latency quantiles (receive to
+	// respond, real wall clock) over the most recent window of requests.
+	LatencyMS LatencyQuantiles `json:"latency_ms"`
+	// Methods breaks attempts down per verification method (cumulative
+	// counts and fees; simulated-latency quantiles over a recent window).
+	// Present only when the server was built with a tracer.
+	Methods []MethodMetrics `json:"methods,omitempty"`
+	// Resilience snapshots the middleware counters (retries, faults,
+	// hedges, breaker activity); present when the server exposes them.
+	Resilience *ResilienceCounters `json:"resilience,omitempty"`
+}
+
+// RequestCounters tallies admission and completion outcomes.
+type RequestCounters struct {
+	Received         int64 `json:"received"`
+	ShedOverload     int64 `json:"shed_overload"`     // answered 429
+	RejectedDraining int64 `json:"rejected_draining"` // answered 503
+	DeadlineExpired  int64 `json:"deadline_expired"`  // answered 504
+	BadRequests      int64 `json:"bad_requests"`      // answered 400
+	InternalErrors   int64 `json:"internal_errors"`   // answered 500
+}
+
+// VerifyCounters tallies verification work done.
+type VerifyCounters struct {
+	Batches int64   `json:"batches"`
+	Docs    int64   `json:"docs"`
+	Claims  int64   `json:"claims"`
+	Dollars float64 `json:"dollars"`
+	Calls   int64   `json:"calls"`
+}
+
+// LatencyQuantiles are nearest-rank quantiles in milliseconds.
+type LatencyQuantiles struct {
+	N   int     `json:"n"`
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// MethodMetrics is the served-traffic rollup for one verification method.
+type MethodMetrics struct {
+	Name             string  `json:"name"`
+	Attempts         int64   `json:"attempts"`
+	Errors           int64   `json:"errors"`
+	PromptTokens     int64   `json:"ptok"`
+	CompletionTokens int64   `json:"ctok"`
+	Fee              float64 `json:"fee"`
+	// SimLatencyMS quantiles cover the method's recent attempts' simulated
+	// per-attempt latency (what the tracer's rollups report).
+	SimLatencyMS LatencyQuantiles `json:"sim_latency_ms"`
+}
+
+// ResilienceCounters mirrors metrics.ResilienceSnapshot with stable JSON
+// names for the API surface.
+type ResilienceCounters struct {
+	Attempts      int64 `json:"attempts"`
+	Retries       int64 `json:"retries"`
+	Faults        int64 `json:"faults"`
+	RateLimited   int64 `json:"rate_limited"`
+	Timeouts      int64 `json:"timeouts"`
+	Transient     int64 `json:"transient"`
+	Permanent     int64 `json:"permanent"`
+	Hedges        int64 `json:"hedges"`
+	HedgeWins     int64 `json:"hedge_wins"`
+	BreakerTrips  int64 `json:"breaker_trips"`
+	BreakerSheds  int64 `json:"breaker_sheds"`
+	BreakerProbes int64 `json:"breaker_probes"`
+}
+
+// snapshot renders the metrics wire body.
+func (m *serveMetrics) snapshot() MetricsResponse {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MetricsResponse{
+		Requests: RequestCounters{
+			Received:         m.requests,
+			ShedOverload:     m.shedOverload,
+			RejectedDraining: m.rejectedDraining,
+			DeadlineExpired:  m.deadlineExpired,
+			BadRequests:      m.badRequests,
+			InternalErrors:   m.internalErrors,
+		},
+		Verify: VerifyCounters{
+			Batches: m.batches,
+			Docs:    m.docs,
+			Claims:  m.claims,
+			Dollars: m.dollars,
+			Calls:   m.calls,
+		},
+		LatencyMS: m.e2e.quantiles(),
+	}
+	names := make([]string, 0, len(m.methods))
+	for name := range m.methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := m.methods[name]
+		out.Methods = append(out.Methods, MethodMetrics{
+			Name:             name,
+			Attempts:         a.attempts,
+			Errors:           a.errors,
+			PromptTokens:     a.promptTokens,
+			CompletionTokens: a.compTokens,
+			Fee:              a.fee,
+			SimLatencyMS:     a.lat.quantiles(),
+		})
+	}
+	return out
+}
+
+// window is a fixed-capacity ring of duration samples; quantiles are
+// computed over whatever it currently holds.
+type window struct {
+	buf  []time.Duration
+	next int
+}
+
+func newWindow(capacity int) *window { return &window{buf: make([]time.Duration, 0, capacity)} }
+
+func (w *window) add(d time.Duration) {
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, d)
+		return
+	}
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+}
+
+// quantiles computes nearest-rank p50/p95/p99 in milliseconds — the same
+// estimator internal/trace uses, so served and traced quantiles compare.
+func (w *window) quantiles() LatencyQuantiles {
+	n := len(w.buf)
+	if n == 0 {
+		return LatencyQuantiles{}
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, w.buf)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(q float64) float64 {
+		r := int(q*float64(n) + 0.999999)
+		if r < 1 {
+			r = 1
+		}
+		if r > n {
+			r = n
+		}
+		return float64(sorted[r-1]) / float64(time.Millisecond)
+	}
+	return LatencyQuantiles{N: n, P50: rank(0.50), P95: rank(0.95), P99: rank(0.99)}
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/claim"
+)
+
+// Wire types of the cedar-serve HTTP API (documented in docs/CLI.md). The
+// JSON field names are a compatibility surface: doclint and the API
+// reference both name them, so renames are breaking changes.
+
+// ClaimInput is one claim as submitted by a client — the same shape the
+// cedar CLI's -claims file uses, so a claims file can be POSTed verbatim as
+// the "claims" array of a request.
+type ClaimInput struct {
+	// ID identifies the claim in the response; defaults to "c<position>".
+	ID string `json:"id,omitempty"`
+	// Sentence is the claim sentence.
+	Sentence string `json:"sentence"`
+	// Value is the claimed value as it appears in the sentence.
+	Value string `json:"value"`
+	// Context is the optional paragraph containing the sentence.
+	Context string `json:"context,omitempty"`
+}
+
+// DocumentInput is one batch-request entry: a set of claims verified as one
+// document. DocID seeds every attempt, so a fixed (doc_id, claims) pair
+// reproduces bit-identically regardless of what else shares the micro-batch.
+type DocumentInput struct {
+	// DocID defaults to the server's database name — the same document ID
+	// the cedar CLI derives, which makes served runs reproduce CLI runs.
+	DocID string `json:"doc_id,omitempty"`
+	// Claims are the claims to verify, in order (order determines seeding).
+	Claims []ClaimInput `json:"claims"`
+}
+
+// VerifyRequest is the body of POST /v1/verify: one document's claims.
+type VerifyRequest struct {
+	DocID  string       `json:"doc_id,omitempty"`
+	Claims []ClaimInput `json:"claims"`
+}
+
+// BatchRequest is the body of POST /v1/verify/batch.
+type BatchRequest struct {
+	Documents []DocumentInput `json:"documents"`
+}
+
+// ClaimResult is one claim's verdict.
+type ClaimResult struct {
+	ID       string `json:"id"`
+	Correct  bool   `json:"correct"`
+	Verified bool   `json:"verified"`
+	Method   string `json:"method,omitempty"`
+	Query    string `json:"query,omitempty"`
+	// Failure is the transport-error class when the claim's method is
+	// "failed" — the provider, not the translation, is why it went
+	// unverified (see internal/claim).
+	Failure string `json:"failure,omitempty"`
+}
+
+// DocumentResult is the verdict set for one submitted document.
+type DocumentResult struct {
+	DocID  string        `json:"doc_id"`
+	Claims []ClaimResult `json:"claims"`
+}
+
+// BatchStats describes the micro-batch a request rode in. Fees are
+// accounted per batch (the run is the billing unit), so Dollars/Calls cover
+// every document of the batch, not just the caller's; Docs and Claims say
+// how many that was. A request submitted alone — or any POST /v1/verify/batch
+// sized at least MaxBatch — gets totals covering exactly its own claims.
+type BatchStats struct {
+	// Docs is the number of documents the micro-batch verified.
+	Docs int `json:"docs"`
+	// Claims is the total number of claims across those documents.
+	Claims int `json:"claims"`
+	// Dollars is the batch run's simulated LLM fee.
+	Dollars float64 `json:"dollars"`
+	// Calls is the batch run's model invocation count.
+	Calls int `json:"calls"`
+}
+
+// VerifyResponse is the body answering POST /v1/verify.
+type VerifyResponse struct {
+	DocID  string        `json:"doc_id"`
+	Claims []ClaimResult `json:"claims"`
+	Batch  BatchStats    `json:"batch"`
+}
+
+// BatchResponse is the body answering POST /v1/verify/batch.
+type BatchResponse struct {
+	Documents []DocumentResult `json:"documents"`
+	Batch     BatchStats       `json:"batch"`
+}
+
+// StatusResponse is the body answering GET /v1/status.
+type StatusResponse struct {
+	// State is "serving" or "draining".
+	State string `json:"state"`
+	// QueueDepth is the number of requests waiting for a micro-batch slot;
+	// QueueCap is the admission limit above which requests shed with 429.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// MaxBatch and BatchWaitMS echo the coalescing configuration.
+	MaxBatch    int   `json:"max_batch"`
+	BatchWaitMS int64 `json:"batch_wait_ms"`
+	// Schedule is the planned verification schedule serving requests.
+	Schedule string `json:"schedule,omitempty"`
+	// UptimeMS is wall time since the server started.
+	UptimeMS int64 `json:"uptime_ms"`
+}
+
+// ErrorBody is the uniform error envelope: every non-2xx response carries
+// {"error": {"code", "message"}}. Codes are stable strings (docs/CLI.md):
+// bad_request, overloaded, draining, deadline_exceeded, internal.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the code/message pair inside an ErrorBody.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes of the ErrorBody envelope.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeOverloaded       = "overloaded"
+	CodeDraining         = "draining"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeInternal         = "internal"
+)
+
+// buildDocument converts one wire document into the domain model, defaulting
+// the document ID to the server's database name and claim IDs to their
+// positions — the exact defaults the cedar CLI applies, preserving the
+// CLI/HTTP bit-identity contract.
+func (s *Server) buildDocument(in DocumentInput) (*claim.Document, error) {
+	if len(in.Claims) == 0 {
+		return nil, fmt.Errorf("document %q has no claims", in.DocID)
+	}
+	docID := in.DocID
+	if docID == "" {
+		docID = s.cfg.DocID
+	}
+	doc := &claim.Document{ID: docID, Domain: "serve", Data: s.cfg.DB}
+	for i, ci := range in.Claims {
+		id := ci.ID
+		if id == "" {
+			id = fmt.Sprintf("c%d", i+1)
+		}
+		c, err := claim.New(id, ci.Sentence, ci.Value, ci.Context)
+		if err != nil {
+			return nil, err
+		}
+		doc.Claims = append(doc.Claims, c)
+	}
+	return doc, nil
+}
+
+// documentResult snapshots a verified document's claim annotations.
+func documentResult(doc *claim.Document) DocumentResult {
+	out := DocumentResult{DocID: doc.ID, Claims: make([]ClaimResult, 0, len(doc.Claims))}
+	for _, c := range doc.Claims {
+		out.Claims = append(out.Claims, ClaimResult{
+			ID:       c.ID,
+			Correct:  c.Result.Correct,
+			Verified: c.Result.Verified,
+			Method:   c.Result.Method,
+			Query:    c.Result.Query,
+			Failure:  c.Result.Failure,
+		})
+	}
+	return out
+}
+
+// writeJSON writes a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeError writes the uniform error envelope; retryAfter > 0 adds a
+// Retry-After header (seconds, rounded up) per RFC 9110 §10.2.3.
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg}})
+}

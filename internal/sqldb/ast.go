@@ -50,7 +50,14 @@ func (e *LiteralExpr) SQL() string {
 	if e.Val.Kind() == KindText {
 		return "'" + strings.ReplaceAll(e.Val.Text(), "'", "''") + "'"
 	}
-	return e.Val.String()
+	s := e.Val.String()
+	// A float literal must render as one: FormatFloat('f', -1) drops the
+	// decimal point for integral values (including negative zero), which
+	// would round-trip to an integer literal and change result formatting.
+	if e.Val.Kind() == KindFloat && !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
 }
 
 // ColumnExpr references a column, optionally qualified by a table name or
