@@ -1,15 +1,16 @@
 # Development targets for the CEDAR reproduction. `make check` is the full
 # verification gate: build, vet, the complete test suite under the race
 # detector, the chaos suite (fault injection + resilience middleware), the
-# golden-trace determinism gate, and a short fuzz smoke over the SQL
-# parser/executor.
+# golden-trace determinism gate, the persistent-store gate (crash-recovery
+# sweep + cross-process determinism), and a short fuzz smoke over the SQL
+# parser/executor and the store's segment decoder.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build vet test race chaos trace fuzz-smoke doclint bench
+.PHONY: check build vet test race chaos trace store fuzz-smoke doclint bench
 
-check: build vet race chaos trace fuzz-smoke doclint
+check: build vet race chaos trace store fuzz-smoke doclint
 
 build:
 	$(GO) build ./...
@@ -37,6 +38,16 @@ trace:
 	$(GO) test -race -run 'GoldenTrace|TraceSpans|Tracer|Aggregate|Quantile|Manifest|WriteJSONL' \
 		./internal/core ./internal/trace
 
+# Persistent-store gate under the race detector (DESIGN.md §11): segment
+# round-trip/recovery units, the crash-recovery truncation sweep (reopen at
+# every byte offset of the final record), the 32-goroutine read/write
+# stress, the cache collision regression, persisted-hit replay, and the
+# cross-process determinism harness (cold vs warm bit-identity, zero fees
+# for persisted hits) including the cedar-serve warm-restart contract.
+store:
+	$(GO) test -race -run 'Store|Segment|Recovery|Persist|CrossProcess|Memo|Collision|ReplayNormalize|WarmRestart' \
+		./internal/store ./internal/llm ./internal/trace ./cedar ./cmd/cedar-serve
+
 # Documented-surface gate: every flag each binary registers must appear in
 # its docs/CLI.md section (each cmd package walks its own FlagSet), every
 # cedar-serve route must be in the API reference, and every package must
@@ -50,6 +61,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzParse$$ -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run NONE -fuzz FuzzQuery$$ -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run NONE -fuzz FuzzParseAndExec$$ -fuzztime $(FUZZTIME) ./internal/sqldb
+	$(GO) test -run NONE -fuzz FuzzStoreDecode$$ -fuzztime $(FUZZTIME) ./internal/store
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -35,6 +35,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/schedule"
 	"repro/internal/sqldb"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -90,6 +91,14 @@ type Options struct {
 	// incur no fees. Off by default to keep cost accounting comparable to
 	// the paper's (which pays for every invocation).
 	CacheResponses bool
+	// CacheDir, when non-empty, extends the cache across processes: the
+	// directory holds a disk-backed result store (internal/store, DESIGN.md
+	// §11) persisting temperature-0 completions and claim-level verdict
+	// memos. A warm run answers persisted work at zero fee with bit-identical
+	// verdicts and (normalized) traces — the cross-process determinism
+	// contract. Setting CacheDir implies CacheResponses. Call System.Close
+	// to release the store's file handles.
+	CacheDir string
 	// Workers > 1 verifies concurrently: documents fan out across workers
 	// and, within each document, independent claim attempts share the same
 	// bounded pool. Verification is bit-for-bit deterministic regardless of
@@ -137,6 +146,11 @@ type System struct {
 	res     *metrics.Resilience
 	stats   []schedule.MethodStats
 	pipe    *core.Pipeline
+	// store is the persistent result store (nil without Options.CacheDir);
+	// caches are the per-model completion caches wired to it, kept so runs
+	// can report per-run persisted-hit deltas.
+	store  *store.Store
+	caches []*llm.Cached
 
 	// runMu serializes verification runs: the fee ledger and the tracer are
 	// run-scoped (reset at run start, read at run end), so overlapping runs
@@ -162,6 +176,18 @@ func New(opts Options) (*System, error) {
 	}
 	ledger := llm.NewLedger()
 	res := &metrics.Resilience{}
+	var st *store.Store
+	if opts.CacheDir != "" {
+		// A persistent store without the in-memory cache layer has nothing to
+		// feed it, so CacheDir implies CacheResponses.
+		opts.CacheResponses = true
+		var err error
+		st, err = store.Open(opts.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("cedar: opening cache dir: %w", err)
+		}
+	}
+	var caches []*llm.Cached
 	// Middleware order, inner to outer: sim → Faulty → Metered → Cached →
 	// Hedged → Retrier → Breaker. Faults sit inside the meter so failed
 	// attempts are billed; the retrier sits outside the cache and hedger so
@@ -183,9 +209,12 @@ func New(opts Options) (*System, error) {
 		}
 		c = &llm.Metered{Client: c, Ledger: ledger, Tracer: opts.Tracer}
 		if opts.CacheResponses {
-			// The cache sits outside the meter so hits are free.
+			// The cache sits outside the meter so hits are free — in-memory
+			// hits within a run, persisted hits across runs and processes.
 			cached := llm.NewCached(c, 0)
 			cached.Tracer = opts.Tracer
+			cached.Persist = st
+			caches = append(caches, cached)
 			c = cached
 		}
 		if opts.HedgeAfter > 0 {
@@ -206,22 +235,32 @@ func New(opts Options) (*System, error) {
 		}
 		return c, nil
 	}
+	closeStore := func() {
+		if st != nil {
+			st.Close()
+		}
+	}
 	c35, err := client(ModelGPT35)
 	if err != nil {
+		closeStore()
 		return nil, err
 	}
 	c4o, err := client(ModelGPT4o)
 	if err != nil {
+		closeStore()
 		return nil, err
 	}
 	c41, err := client(ModelGPT41)
 	if err != nil {
+		closeStore()
 		return nil, err
 	}
 	return &System{
 		opts:   opts,
 		ledger: ledger,
 		res:    res,
+		store:  st,
+		caches: caches,
 		methods: []verify.Method{
 			verify.NewOneShot(c35, ModelGPT35, "oneshot-gpt3.5"),
 			verify.NewOneShot(c4o, ModelGPT4o, "oneshot-gpt4o"),
@@ -310,6 +349,15 @@ type Report struct {
 	Dollars float64
 	// Calls is the number of model invocations.
 	Calls int
+	// PersistedHits counts temperature-0 completions this run answered from
+	// the persistent store (Options.CacheDir) at zero fee — completions some
+	// earlier run already paid for. Zero without a cache dir.
+	PersistedHits int
+	// MemoHits counts claims whose freshly computed verdict matched a
+	// persisted verdict memo; MemoMismatches counts disagreements (the memo
+	// is then overwritten — memos validate, they never override).
+	MemoHits       int
+	MemoMismatches int
 }
 
 // String renders the report.
@@ -338,17 +386,20 @@ func (s *System) Verify(docs []*Document) (Report, error) {
 	// A trace covers exactly one run: drop spans from profiling or earlier
 	// runs, mirroring the ledger reset.
 	s.opts.Tracer.Reset()
+	prePersist := s.persistHits()
 	if s.opts.Workers > 1 {
 		s.pipe.VerifyDocumentsParallel(docs, s.opts.Workers)
 	} else {
 		s.pipe.VerifyDocuments(docs)
 	}
 	rep := Report{
-		Quality: metrics.Evaluate(docs),
-		Claims:  claim.TotalClaims(docs),
-		Dollars: s.ledger.TotalDollars(),
-		Calls:   s.ledger.TotalCalls(),
+		Quality:       metrics.Evaluate(docs),
+		Claims:        claim.TotalClaims(docs),
+		Dollars:       s.ledger.TotalDollars(),
+		Calls:         s.ledger.TotalCalls(),
+		PersistedHits: s.persistHits() - prePersist,
 	}
+	rep.MemoHits, rep.MemoMismatches = s.memoPass(docs)
 	for _, d := range docs {
 		for _, c := range d.Claims {
 			if c.Result.Verified {
@@ -361,6 +412,83 @@ func (s *System) Verify(docs []*Document) (Report, error) {
 	}
 	s.ledger.Reset()
 	return rep, nil
+}
+
+// persistHits sums persisted-store hits across the per-model caches (a
+// lifetime counter; Verify reports per-run deltas).
+func (s *System) persistHits() int {
+	total := 0
+	for _, c := range s.caches {
+		_, hits := c.PersistStats()
+		total += hits
+	}
+	return total
+}
+
+// memoPass reconciles freshly computed verdicts with the persistent memo
+// layer after a run (DESIGN.md §11). For each claim it recomputes the memo
+// key and either (a) validates the fresh verdict against the stored memo —
+// counting a hit on agreement, recording a memo_mismatch span and
+// overwriting on disagreement — or (b) stores a new memo on a miss. Memos
+// never feed verdicts forward: the pipeline has already run, so a corrupt or
+// stale memo can surface as a mismatch but cannot alter a Result.
+func (s *System) memoPass(docs []*Document) (hits, mismatches int) {
+	if s.store == nil {
+		return 0, 0
+	}
+	cfgFP := s.configFingerprint()
+	for _, d := range docs {
+		dbFP := dbFingerprint(d.Data)
+		for i, c := range d.Claims {
+			key := memoKey(dbFP, cfgFP, d.ID, i, c)
+			fresh := c.Result
+			if val, ok := s.store.Get(key); ok {
+				if memo, ok := decodeMemo(val); ok {
+					if memoEqual(memo, fresh) {
+						hits++
+						continue
+					}
+					mismatches++
+					if s.opts.Tracer.Enabled() {
+						s.opts.Tracer.Record(trace.Span{
+							Key:     trace.Key{Doc: d.ID, Claim: i, Method: "memo"},
+							Kind:    trace.KindMemoMismatch,
+							Outcome: trace.OutcomeError,
+							Detail:  fmt.Sprintf("memo %s vs fresh %s", memoVerdict(memo), memoVerdict(fresh)),
+						})
+					}
+				}
+			}
+			// Miss, undecodable, or mismatch: persist the fresh verdict.
+			_ = s.store.Put(key, encodeMemo(fresh))
+		}
+	}
+	return hits, mismatches
+}
+
+// memoVerdict renders a Result's verdict compactly for mismatch diagnostics.
+func memoVerdict(r claim.Result) string {
+	return fmt.Sprintf("{verified=%t correct=%t method=%s attempts=%d}", r.Verified, r.Correct, r.Method, r.Attempts)
+}
+
+// Close releases the persistent result store's file handles (a no-op without
+// Options.CacheDir). The System must not verify after Close.
+func (s *System) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	st := s.store
+	s.store = nil
+	return st.Close()
+}
+
+// StoreStats snapshots the persistent store's activity counters (zero Stats
+// without Options.CacheDir).
+func (s *System) StoreStats() store.Stats {
+	if s.store == nil {
+		return store.Stats{}
+	}
+	return s.store.Stats()
 }
 
 // VerifyClaims verifies one batch of claims against a database as a single

@@ -16,6 +16,7 @@
 //	fig7       Figure 7 — schedule robustness across domains
 //	modelfit   extended report — modeled vs realized accuracy
 //	servebench serving mode — req/s and latency quantiles under HTTP load
+//	storebench persistent store — cold vs warm fees, calls, and hit rate
 //	all        run everything above
 package main
 
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -71,6 +73,9 @@ func experiments() []experiment {
 		{"servebench", "Serving mode: req/s and latency quantiles under concurrent HTTP load", func(s int64, w int) (result, error) {
 			return exp.ServeBench(s, w)
 		}},
+		{"storebench", "Persistent result store: cold vs warm fees, calls, and hit rate", func(s int64, w int) (result, error) {
+			return exp.StoreBench(s, w)
+		}},
 	}
 }
 
@@ -86,6 +91,8 @@ type benchOptions struct {
 	FaultRate    float64
 	TracePath    string
 	TraceSummary bool
+	CacheDir     string
+	StoreJSON    string
 }
 
 // defineFlags registers the binary's flags on fs, bound to the returned
@@ -103,6 +110,8 @@ func defineFlags(fs *flag.FlagSet) *benchOptions {
 	fs.Float64Var(&o.FaultRate, "fault-rate", 0, "inject deterministic transport faults at this per-attempt probability")
 	fs.StringVar(&o.TracePath, "trace", "", "write the final pipeline run's attempt-level trace as sorted JSONL to this file")
 	fs.BoolVar(&o.TraceSummary, "trace-summary", false, "print per-method/per-model trace rollups and the run manifest to stderr")
+	fs.StringVar(&o.CacheDir, "cache-dir", "", "persist temperature-0 completions in this directory; repeated experiment runs answer persisted work at zero fee (DESIGN.md §11)")
+	fs.StringVar(&o.StoreJSON, "store-json", "", "write the storebench result as JSON to this file (e.g. BENCH_store.json)")
 	return o
 }
 
@@ -125,11 +134,20 @@ func main() {
 		BreakerThreshold: o.Breaker,
 		Tracer:           tracer,
 	}
+	if o.CacheDir != "" {
+		st, err := store.Open(o.CacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cedar-bench:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		exp.DefaultResilience.Store = st
+	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
-	ran, err := runExperiments(os.Stdout, flag.Arg(0), o.Seed, o.Workers, o.AsCSV)
+	ran, err := runExperiments(os.Stdout, flag.Arg(0), o.Seed, o.Workers, o.AsCSV, o.StoreJSON)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-bench:", err)
 		os.Exit(1)
@@ -170,9 +188,13 @@ func exportTrace(tracer *trace.Tracer, path string, summary bool, seed int64, wo
 	return nil
 }
 
+// jsonResult is implemented by results with a machine-readable JSON artifact
+// (currently storebench; see -store-json).
+type jsonResult interface{ JSON() ([]byte, error) }
+
 // runExperiments executes every experiment matching want ("all" matches
 // each) and writes its rendering to w. It reports whether anything matched.
-func runExperiments(w io.Writer, want string, seed int64, workers int, asCSV bool) (bool, error) {
+func runExperiments(w io.Writer, want string, seed int64, workers int, asCSV bool, storeJSON string) (bool, error) {
 	ran := false
 	for _, e := range experiments() {
 		if want != "all" && want != e.name {
@@ -182,6 +204,18 @@ func runExperiments(w io.Writer, want string, seed int64, workers int, asCSV boo
 		res, err := e.run(seed, workers)
 		if err != nil {
 			return ran, fmt.Errorf("%s: %w", e.name, err)
+		}
+		if storeJSON != "" && e.name == "storebench" {
+			if j, ok := res.(jsonResult); ok {
+				blob, err := j.JSON()
+				if err != nil {
+					return ran, fmt.Errorf("%s: %w", e.name, err)
+				}
+				if err := os.WriteFile(storeJSON, append(blob, '\n'), 0o644); err != nil {
+					return ran, fmt.Errorf("%s: %w", e.name, err)
+				}
+				fmt.Fprintf(os.Stderr, "storebench result written to %s\n", storeJSON)
+			}
 		}
 		if asCSV {
 			if c, ok := res.(csvResult); ok {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/profile"
 	"repro/internal/schedule"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -32,6 +33,7 @@ type profileOptions struct {
 	FaultRate    float64
 	TracePath    string
 	TraceSummary bool
+	CacheDir     string
 }
 
 // defineFlags registers the binary's flags on fs, bound to the returned
@@ -48,6 +50,7 @@ func defineFlags(fs *flag.FlagSet) *profileOptions {
 	fs.Float64Var(&o.FaultRate, "fault-rate", 0, "inject deterministic transport faults at this per-attempt probability")
 	fs.StringVar(&o.TracePath, "trace", "", "write the profiling run's attempt-level trace as sorted JSONL to this file")
 	fs.BoolVar(&o.TraceSummary, "trace-summary", false, "print per-model trace rollups to stderr (profiling traffic is anonymous: no attempt identities)")
+	fs.StringVar(&o.CacheDir, "cache-dir", "", "record temperature-0 completions in this persistent store; profiling always re-pays (anonymous traffic never reads the store, DESIGN.md §11) but its completions warm later cedar runs")
 	return o
 }
 
@@ -65,6 +68,15 @@ func main() {
 		Retries:   o.Retries,
 		Timeout:   o.Timeout,
 		Tracer:    tracer,
+	}
+	if o.CacheDir != "" {
+		st, err := store.Open(o.CacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cedar-profile:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		exp.DefaultResilience.Store = st
 	}
 	if err := run(o.Seed, o.Bench, o.Docs, o.OutPath); err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-profile:", err)

@@ -63,6 +63,8 @@ type serveOptions struct {
 	HedgeAfter time.Duration
 	Breaker    int
 	FaultRate  float64
+
+	CacheDir string
 }
 
 // defineFlags registers the binary's flags on fs, bound to the returned
@@ -91,6 +93,7 @@ func defineFlags(fs *flag.FlagSet) *serveOptions {
 	fs.DurationVar(&o.HedgeAfter, "hedge", sr.HedgeAfter, "race a backup model call once the primary exceeds this simulated latency; 0 disables")
 	fs.IntVar(&o.Breaker, "breaker", 0, "trip a per-model circuit breaker after N consecutive failures; 0 disables (order-dependent, see DESIGN.md §9)")
 	fs.Float64Var(&o.FaultRate, "fault-rate", 0, "inject deterministic transport faults at this per-attempt probability (chaos testing)")
+	fs.StringVar(&o.CacheDir, "cache-dir", "", "persist temperature-0 completions and verdict memos in this directory; restarts answer repeated work at zero fee (DESIGN.md §11)")
 	return o
 }
 
@@ -109,11 +112,13 @@ func main() {
 
 // newServer builds the serving stack — database, profiled System, backend
 // adapter, HTTP server — without binding a listener, so tests can drive it
-// through httptest.
-func newServer(o *serveOptions) (*serve.Server, error) {
+// through httptest. The returned closer releases the System's persistent
+// store handles (-cache-dir); call it after Shutdown, and before another
+// newServer may reopen the same directory (warm restart).
+func newServer(o *serveOptions) (*serve.Server, func() error, error) {
 	db, dbName, err := cliutil.LoadDatabase(o.CSVPaths, o.TableName)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// The tracer feeds the per-method rollups of GET /v1/metrics; the
 	// backend resets it each micro-batch, so memory stays bounded.
@@ -127,28 +132,33 @@ func newServer(o *serveOptions) (*serve.Server, error) {
 		HedgeAfter:       o.HedgeAfter,
 		BreakerThreshold: o.Breaker,
 		FaultRate:        o.FaultRate,
+		CacheDir:         o.CacheDir,
 		Tracer:           tracer,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if o.StatsPath != "" {
 		stats, err := profile.LoadStats(o.StatsPath)
 		if err != nil {
-			return nil, err
+			sys.Close()
+			return nil, nil, err
 		}
 		if err := sys.SetStats(stats); err != nil {
-			return nil, err
+			sys.Close()
+			return nil, nil, err
 		}
 	} else {
 		// The same built-in profiling corpus cmd/cedar uses, so a served
 		// run reproduces a CLI run of the same seed exactly.
 		profDocs, err := cedar.Benchmark(cedar.BenchAggChecker, o.Seed+100)
 		if err != nil {
-			return nil, err
+			sys.Close()
+			return nil, nil, err
 		}
 		if err := sys.ProfileOn(profDocs[:6]); err != nil {
-			return nil, err
+			sys.Close()
+			return nil, nil, err
 		}
 	}
 	backend := serve.BackendFunc(func(docs []*cedar.Document) (serve.RunStats, error) {
@@ -158,7 +168,7 @@ func newServer(o *serveOptions) (*serve.Server, error) {
 		}
 		return serve.RunStats{Claims: rep.Claims, Dollars: rep.Dollars, Calls: rep.Calls}, nil
 	})
-	return serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Backend:        backend,
 		DB:             db,
 		DocID:          dbName,
@@ -171,13 +181,19 @@ func newServer(o *serveOptions) (*serve.Server, error) {
 		Resilience:     func() metrics.ResilienceSnapshot { return sys.Resilience() },
 		Tracer:         tracer,
 	})
+	if err != nil {
+		sys.Close()
+		return nil, nil, err
+	}
+	return srv, sys.Close, nil
 }
 
 func run(o *serveOptions) error {
-	srv, err := newServer(o)
+	srv, closeSys, err := newServer(o)
 	if err != nil {
 		return err
 	}
+	defer closeSys()
 	httpSrv := &http.Server{
 		Addr:              o.Addr,
 		Handler:           srv,

@@ -63,6 +63,7 @@ func defineFlags(fs *flag.FlagSet) *runOptions {
 	fs.Float64Var(&o.FaultRate, "fault-rate", 0, "inject deterministic transport faults at this per-attempt probability (chaos testing)")
 	fs.StringVar(&o.TracePath, "trace", "", "write the run's attempt-level trace as sorted JSONL to this file")
 	fs.BoolVar(&o.TraceSummary, "trace-summary", false, "print per-method/per-model trace rollups and the run manifest to stderr")
+	fs.StringVar(&o.CacheDir, "cache-dir", "", "persist temperature-0 completions and verdict memos in this directory; repeated runs answer persisted work at zero fee (DESIGN.md §11)")
 	return o
 }
 
@@ -97,6 +98,7 @@ type runOptions struct {
 	FaultRate    float64
 	TracePath    string
 	TraceSummary bool
+	CacheDir     string
 }
 
 func run(o runOptions) error {
@@ -138,11 +140,13 @@ func run(o runOptions) error {
 		HedgeAfter:       o.HedgeAfter,
 		BreakerThreshold: o.Breaker,
 		FaultRate:        o.FaultRate,
+		CacheDir:         o.CacheDir,
 		Tracer:           tracer,
 	})
 	if err != nil {
 		return err
 	}
+	defer sys.Close()
 	if o.StatsPath != "" {
 		stats, err := profile.LoadStats(o.StatsPath)
 		if err != nil {
@@ -230,6 +234,10 @@ func run(o runOptions) error {
 	}
 	fmt.Printf("\n%d claims, %d flagged incorrect, simulated cost $%.4f (%d model calls)\n",
 		rep.Claims, rep.Flagged, rep.Dollars, rep.Calls)
+	if o.CacheDir != "" {
+		fmt.Printf("cache: %d persisted hits, %d memo hits, %d memo mismatches\n",
+			rep.PersistedHits, rep.MemoHits, rep.MemoMismatches)
+	}
 	if o.Retries > 0 || o.Timeout > 0 || o.HedgeAfter > 0 || o.Breaker > 0 || o.FaultRate > 0 {
 		fmt.Printf("resilience: %v\n", sys.Resilience())
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/schedule"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -40,6 +41,10 @@ type Stack struct {
 	// when the stack was built with ResilienceOptions.Tracer; pipeline runs
 	// thread it into core.Config so spans carry attempt identities.
 	Tracer *trace.Tracer
+	// Caches are the per-model completion caches, present only when the
+	// stack was built with ResilienceOptions.Store; kept so experiments can
+	// report persisted-hit counts.
+	Caches []*llm.Cached
 
 	seed int64
 }
@@ -71,6 +76,11 @@ type ResilienceOptions struct {
 	// Tracer, when non-nil, records attempt-level spans from every middleware
 	// layer (see internal/trace); nil disables tracing.
 	Tracer *trace.Tracer
+	// Store, when non-nil, installs a temperature-0 completion cache backed
+	// by this persistent result store between the meter and the hedger —
+	// the same position cedar.New wires it (DESIGN.md §11). Cached hits,
+	// in-memory or persisted, are never billed.
+	Store *store.Store
 }
 
 // DefaultResilience is applied by NewStack; the cedar-bench and
@@ -85,12 +95,13 @@ func NewStack(seed int64) (*Stack, error) {
 }
 
 // NewStackResilient builds the method stack with explicit resilience knobs.
-// Middleware order matches cedar.New: sim → Faulty → Metered → Hedged →
-// Retrier → Breaker (inner to outer), so failed attempts are billed and the
-// breaker sees logical post-retry outcomes.
+// Middleware order matches cedar.New: sim → Faulty → Metered → [Cached] →
+// Hedged → Retrier → Breaker (inner to outer), so failed attempts are billed,
+// cache hits are free, and the breaker sees logical post-retry outcomes.
 func NewStackResilient(seed int64, ro ResilienceOptions) (*Stack, error) {
 	ledger := llm.NewLedger()
 	res := &metrics.Resilience{}
+	var caches []*llm.Cached
 	client := func(model string) (llm.Client, error) {
 		m, err := sim.New(model, seed)
 		if err != nil {
@@ -106,6 +117,15 @@ func NewStackResilient(seed int64, ro ResilienceOptions) (*Stack, error) {
 			}
 		}
 		c = &llm.Metered{Client: c, Ledger: ledger, Tracer: ro.Tracer}
+		if ro.Store != nil {
+			// Outside the meter so hits — in-memory or persisted — are free,
+			// matching cedar.New's placement.
+			cached := llm.NewCached(c, 0)
+			cached.Tracer = ro.Tracer
+			cached.Persist = ro.Store
+			caches = append(caches, cached)
+			c = cached
+		}
 		if ro.HedgeAfter > 0 {
 			c = &resilience.Hedged{Client: c, After: ro.HedgeAfter, Metrics: res, Tracer: ro.Tracer}
 		}
@@ -147,7 +167,19 @@ func NewStackResilient(seed int64, ro ResilienceOptions) (*Stack, error) {
 		Ledger:     ledger,
 		Resilience: res,
 		Tracer:     ro.Tracer,
+		Caches:     caches,
 	}, nil
+}
+
+// PersistedHits sums disk-store hits across the stack's per-model caches;
+// zero when the stack has no store.
+func (s *Stack) PersistedHits() int64 {
+	var total int64
+	for _, c := range s.Caches {
+		_, hits := c.PersistStats()
+		total += int64(hits)
+	}
+	return total
 }
 
 // Profile estimates method statistics on a held-out corpus.

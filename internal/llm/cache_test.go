@@ -131,9 +131,9 @@ func primeInflight(c *Cached, r Request, resp Response, err error) {
 	close(call.done)
 	c.mu.Lock()
 	if c.table == nil {
-		c.table = make(map[uint64]*list.Element)
+		c.table = make(map[string]*list.Element)
 		c.order = list.New()
-		c.inflight = make(map[uint64]*inflightCall)
+		c.inflight = make(map[string]*inflightCall)
 	}
 	c.inflight[cacheKey(r)] = call
 	c.mu.Unlock()

@@ -1,0 +1,248 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// populate fills a fresh store at dir and returns the keys written.
+func populate(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("recovery-key-%04d", i)
+		if err := s.Put([]byte(keys[i]), []byte(fmt.Sprintf("recovery-value-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}
+
+// richestSegment returns the path of the segment holding the most records and
+// the offset where its final record starts. Needs a segment with ≥ 2 records
+// so the sweep exercises both "lose the tail record" and "keep everything
+// before it".
+func richestSegment(t *testing.T, dir string) (path string, finalOff, size int) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := -1
+	for _, e := range entries {
+		p := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, valid := scanSegment(data[len(segmentMagic):])
+		if valid != len(data)-len(segmentMagic) {
+			t.Fatalf("%s has a torn tail before the test even starts", p)
+		}
+		if len(recs) > best {
+			best = len(recs)
+			path = p
+			size = len(data)
+			// Re-walk to find where the final record begins.
+			off := len(segmentMagic)
+			for i := 0; i < len(recs)-1; i++ {
+				bodyLen := 4 + len(recs[i].key) + len(recs[i].value)
+				off += frameHeaderLen + bodyLen
+			}
+			finalOff = off
+		}
+	}
+	if best < 2 {
+		t.Fatalf("no segment holds 2+ records (best %d); grow the corpus", best)
+	}
+	return path, finalOff, size
+}
+
+// TestRecoveryTruncationSweep is the satellite-3 sweep: truncate a segment at
+// every byte offset within its final record (from the record's first byte up
+// to but excluding the intact end) and reopen. Every cut must recover without
+// error, serve exactly the records before the cut (never a partial one), and
+// accept + persist a subsequent append.
+func TestRecoveryTruncationSweep(t *testing.T) {
+	src := t.TempDir()
+	populate(t, src, 200)
+	segPath, finalOff, size := richestSegment(t, src)
+	original, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecs, _ := scanSegment(original[len(segmentMagic):])
+
+	// Records intact before the final one — every cut inside the final record
+	// must recover to exactly this set.
+	keep := len(wantRecs) - 1
+
+	for cut := finalOff; cut < size; cut++ {
+		dir := t.TempDir()
+		copyDir(t, src, dir)
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(segPath)), original[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: Open failed: %v", cut, err)
+		}
+		st := s.Stats()
+		if st.Truncated != int64(cut-finalOff) {
+			t.Fatalf("cut=%d: truncated %d bytes, want %d", cut, st.Truncated, cut-finalOff)
+		}
+		// The surviving records of the cut segment must be intact and
+		// byte-exact; the torn final record must be gone entirely.
+		for i, r := range wantRecs[:keep] {
+			got, ok := s.Get(r.key)
+			if !ok {
+				t.Fatalf("cut=%d: record %d lost", cut, i)
+			}
+			if !bytes.Equal(got, r.value) {
+				t.Fatalf("cut=%d: record %d corrupted: %q != %q", cut, i, got, r.value)
+			}
+		}
+		if _, ok := s.Get(wantRecs[keep].key); ok {
+			t.Fatalf("cut=%d: partial final record was served", cut)
+		}
+
+		// A post-recovery append must land in a readable segment.
+		if err := s.Put([]byte("post-crash"), []byte("appended")); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: reopen after append: %v", cut, err)
+		}
+		if got, ok := r.Get([]byte("post-crash")); !ok || string(got) != "appended" {
+			t.Fatalf("cut=%d: post-recovery append unreadable: %q, %v", cut, got, ok)
+		}
+		if r.Stats().Truncated != 0 {
+			t.Fatalf("cut=%d: second open still truncating (%d bytes)", cut, r.Stats().Truncated)
+		}
+		r.Close()
+	}
+}
+
+// TestRecoveryBitFlipSweep flips each byte in the final record (rather than
+// truncating): the CRC must catch it, and the store must never serve the
+// damaged record.
+func TestRecoveryBitFlipSweep(t *testing.T) {
+	src := t.TempDir()
+	populate(t, src, 200)
+	segPath, finalOff, size := richestSegment(t, src)
+	original, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecs, _ := scanSegment(original[len(segmentMagic):])
+	final := wantRecs[len(wantRecs)-1]
+
+	for pos := finalOff; pos < size; pos++ {
+		dir := t.TempDir()
+		copyDir(t, src, dir)
+		mutated := append([]byte(nil), original...)
+		mutated[pos] ^= 0xff
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(segPath)), mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("pos=%d: Open failed: %v", pos, err)
+		}
+		if got, ok := s.Get(final.key); ok && !bytes.Equal(got, final.value) {
+			t.Fatalf("pos=%d: served a corrupted record: %q", pos, got)
+		}
+		s.Close()
+	}
+}
+
+// TestRecoveryRaceStress is the 32-goroutine mixed read/write stress from the
+// issue: run under -race (the Makefile store gate does), with reads and
+// writes landing on overlapping keys across all shards.
+func TestRecoveryRaceStress(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const goroutines = 32
+	const opsPer = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				key := []byte(fmt.Sprintf("stress-%d", (g*7+i)%97))
+				if g%2 == 0 {
+					val := []byte(fmt.Sprintf("val-%d-%d", g, i))
+					if err := s.Put(key, val); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if v, ok := s.Get(key); ok && len(v) == 0 {
+						t.Errorf("empty value for %s", key)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if t.Failed() {
+		return
+	}
+	// Everything written must survive a reopen intact.
+	dir := s.Dir()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Stats().Truncated != 0 {
+		t.Errorf("concurrent appends left a torn tail: %d bytes", r.Stats().Truncated)
+	}
+	if r.Len() == 0 {
+		t.Error("stress run persisted nothing")
+	}
+}
+
+// copyDir clones every file in src into dst (flat directories only).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

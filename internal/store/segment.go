@@ -1,0 +1,100 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Segment file format. A segment is the on-disk journal of one shard:
+//
+//	magic "CEDARSG1" (8 bytes)
+//	record*
+//
+// where each record is an independently checksummed frame:
+//
+//	u32  bodyLen   (little-endian, ≤ maxRecord)
+//	u32  crc32c    (Castagnoli, over body)
+//	body = u32 keyLen | key | value
+//
+// The framing is what makes recovery trivial and safe: a crash can only
+// damage the suffix of an append-only file, so the first frame that fails a
+// bound, checksum, or body-shape check marks the valid prefix — everything
+// before it is intact by CRC, everything from it on is a torn tail to
+// truncate. No record is ever served partially: a frame either passes its
+// checksum whole or contributes nothing.
+
+const (
+	segmentMagic = "CEDARSG1"
+	// frameHeaderLen is the per-record framing overhead (bodyLen + crc32c).
+	frameHeaderLen = 8
+	// minBody is the smallest legal body: a keyLen prefix with an empty key
+	// and empty value.
+	minBody = 4
+	// maxRecord bounds one record body so a corrupt length prefix cannot make
+	// the scanner attempt a multi-gigabyte read.
+	maxRecord = 1 << 24
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// record is one decoded key/value pair.
+type record struct {
+	key   []byte
+	value []byte
+}
+
+// encodeRecord frames one key/value pair for appending to a segment.
+func encodeRecord(key, value []byte) []byte {
+	bodyLen := 4 + len(key) + len(value)
+	buf := make([]byte, frameHeaderLen+bodyLen)
+	body := buf[frameHeaderLen:]
+	binary.LittleEndian.PutUint32(body, uint32(len(key)))
+	copy(body[4:], key)
+	copy(body[4+len(key):], value)
+	binary.LittleEndian.PutUint32(buf, uint32(bodyLen))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(body, crcTable))
+	return buf
+}
+
+// decodeBody splits a checksummed record body into key and value. It returns
+// ok=false when the keyLen prefix is inconsistent with the body size — a
+// shape that cannot come from encodeRecord, so the scanner treats it as
+// corruption even though the checksum passed.
+func decodeBody(body []byte) (key, value []byte, ok bool) {
+	if len(body) < minBody {
+		return nil, nil, false
+	}
+	keyLen := binary.LittleEndian.Uint32(body)
+	if uint64(keyLen) > uint64(len(body)-4) {
+		return nil, nil, false
+	}
+	return body[4 : 4+keyLen], body[4+keyLen:], true
+}
+
+// scanSegment walks the record region of a segment (everything after the
+// magic) and returns every intact record plus the byte length of the valid
+// prefix. It never fails: corruption — a short frame, an out-of-bounds
+// length, a checksum mismatch, a malformed body — simply ends the scan, and
+// the caller truncates the file to the returned length. The returned key and
+// value slices alias data.
+func scanSegment(data []byte) (recs []record, valid int) {
+	off := 0
+	for len(data)-off >= frameHeaderLen {
+		bodyLen := binary.LittleEndian.Uint32(data[off:])
+		if bodyLen < minBody || bodyLen > maxRecord || uint64(bodyLen) > uint64(len(data)-off-frameHeaderLen) {
+			break
+		}
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		body := data[off+frameHeaderLen : off+frameHeaderLen+int(bodyLen)]
+		if crc32.Checksum(body, crcTable) != want {
+			break
+		}
+		key, value, ok := decodeBody(body)
+		if !ok {
+			break
+		}
+		recs = append(recs, record{key: key, value: value})
+		off += frameHeaderLen + int(bodyLen)
+	}
+	return recs, off
+}

@@ -1,0 +1,219 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, ok := s.Get([]byte("missing")); ok {
+		t.Error("empty store served a value")
+	}
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		val := []byte(fmt.Sprintf("value-%03d", i))
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		got, ok := s.Get(key)
+		if !ok {
+			t.Fatalf("key %s missing", key)
+		}
+		if want := fmt.Sprintf("value-%03d", i); string(got) != want {
+			t.Fatalf("Get(%s) = %q, want %q", key, got, want)
+		}
+	}
+	st := s.Stats()
+	if st.Puts != 100 || st.Hits != 100 || st.Gets != 101 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStoreReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 40 {
+		t.Fatalf("reopened Len = %d, want 40", r.Len())
+	}
+	if r.Stats().Recovered != 40 {
+		t.Errorf("recovered = %d, want 40", r.Stats().Recovered)
+	}
+	if r.Stats().Truncated != 0 {
+		t.Errorf("clean segments reported %d truncated bytes", r.Stats().Truncated)
+	}
+	for i := 0; i < 40; i++ {
+		got, ok := r.Get([]byte(fmt.Sprintf("k%d", i)))
+		if !ok || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d = %q, %v after reopen", i, got, ok)
+		}
+	}
+}
+
+// TestStorePutSemantics pins the append discipline: identical re-puts do not
+// grow the segment, a changed value wins both live and across a reopen.
+func TestStorePutSemantics(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("the-key")
+	if err := s.Put(key, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	size := segmentBytes(t, dir)
+	if err := s.Put(key, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if got := segmentBytes(t, dir); got != size {
+		t.Errorf("duplicate put grew segments: %d -> %d bytes", size, got)
+	}
+	if s.Stats().Dupes != 1 {
+		t.Errorf("dupes = %d, want 1", s.Stats().Dupes)
+	}
+	if err := s.Put(key, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(key); string(got) != "two" {
+		t.Errorf("live value = %q, want last write", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got, _ := r.Get(key); string(got) != "two" {
+		t.Errorf("replayed value = %q, want last write", got)
+	}
+}
+
+// TestStoreGetReturnsCopy guards against aliasing: mutating a returned value
+// must not corrupt the index.
+func TestStoreGetReturnsCopy(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put([]byte("k"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Get([]byte("k"))
+	copy(v, "XXXXX")
+	if got, _ := s.Get([]byte("k")); string(got) != "value" {
+		t.Errorf("index value mutated through Get result: %q", got)
+	}
+}
+
+// TestStoreRejectsForeignFiles: a directory holding non-segment data under a
+// segment name is an error, not silent data loss — recovery only ever
+// truncates files that carry our magic (or a torn prefix of it).
+func TestStoreRejectsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-00.cedar"), []byte("NOTACEDARFILE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a foreign file as a segment")
+	}
+}
+
+// TestStoreTornMagicResets: a crash during the very first header write
+// leaves a prefix of the magic; recovery restarts the segment instead of
+// failing.
+func TestStoreTornMagicResets(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-03.cedar"), []byte(segmentMagic[:5]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after torn-header recovery", s.Len())
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// segmentBytes sums the size of every segment file in dir.
+func segmentBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += info.Size()
+	}
+	return n
+}
+
+// TestSegmentEncodeDecode covers the frame codec directly.
+func TestSegmentEncodeDecode(t *testing.T) {
+	var buf bytes.Buffer
+	want := []record{
+		{key: []byte("a"), value: []byte("1")},
+		{key: []byte(""), value: []byte("")},
+		{key: []byte("binary\x00key"), value: bytes.Repeat([]byte{0xff, 0x00}, 300)},
+	}
+	for _, r := range want {
+		buf.Write(encodeRecord(r.key, r.value))
+	}
+	recs, valid := scanSegment(buf.Bytes())
+	if valid != buf.Len() {
+		t.Fatalf("valid = %d, want %d", valid, buf.Len())
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(recs[i].key, want[i].key) || !bytes.Equal(recs[i].value, want[i].value) {
+			t.Errorf("record %d = %q/%q, want %q/%q", i, recs[i].key, recs[i].value, want[i].key, want[i].value)
+		}
+	}
+}

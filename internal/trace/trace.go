@@ -82,6 +82,19 @@ const (
 	// KindThrottle is a real wall-clock sleep imposed by llm.Throttled;
 	// Latency carries the scaled sleep. Recorded by llm.Throttled.
 	KindThrottle = "throttle"
+	// KindPersistHit is a temperature-0 completion answered from the
+	// persistent result store (DESIGN.md §11) without invoking the model. The
+	// span carries a full replica of the attempt it replays — tokens, the fee
+	// the original attempt was billed, simulated latency — so a warm trace
+	// normalized by ReplayNormalize is byte-identical to its cold
+	// counterpart. The ledger books nothing for these. Recorded by
+	// llm.Cached.
+	KindPersistHit = "persist_hit"
+	// KindMemoMismatch marks a verdict memo in the persistent store that
+	// disagreed with the freshly computed verdict — the memo layer is a
+	// validating oracle, not a bypass, so a mismatch is surfaced and the memo
+	// overwritten rather than trusted. Recorded by cedar.System.
+	KindMemoMismatch = "memo_mismatch"
 	// KindOutcome is the terminal verdict of one verification attempt:
 	// "verified", "implausible", or a transport-error class. Recorded by
 	// verify.AttemptWith.
@@ -233,4 +246,39 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 // Summary aggregates the recorded spans (see Aggregate).
 func (t *Tracer) Summary() Summary {
 	return Aggregate(t.Spans())
+}
+
+// ReplayNormalize rewrites a canonical span stream into the form the
+// cross-process determinism contract compares (DESIGN.md §11). A warm run
+// answers persisted work with persist_hit spans instead of attempt spans, and
+// cache_hit/cache_wait attribution is scheduling-dependent in both runs, so
+// raw cold and warm traces differ even when the verification work is
+// identical. Normalization removes exactly that replay noise:
+//
+//   - persist_hit spans become attempt spans with outcome "ok" (they carry a
+//     full replica of the attempt they replay);
+//   - cache_hit, cache_wait, and memo_mismatch spans are dropped;
+//   - per-key Seq is renumbered over what remains, since dropped and
+//     rewritten spans consumed sequence slots.
+//
+// The input must be in canonical order (as returned by Tracer.Spans); the
+// output is too. For a deterministic workload, ReplayNormalize(cold) and
+// ReplayNormalize(warm) are equal span for span — byte-identical once
+// serialized — which is the trace half of the cross-process contract.
+func ReplayNormalize(spans []Span) []Span {
+	out := make([]Span, 0, len(spans))
+	seq := make(map[Key]int, 64)
+	for _, s := range spans {
+		switch s.Kind {
+		case KindCacheHit, KindCacheWait, KindMemoMismatch:
+			continue
+		case KindPersistHit:
+			s.Kind = KindAttempt
+			s.Outcome = OutcomeOK
+		}
+		s.Seq = seq[s.Key]
+		seq[s.Key] = s.Seq + 1
+		out = append(out, s)
+	}
+	return out
 }

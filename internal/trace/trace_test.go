@@ -217,3 +217,47 @@ func TestWriteJSONLRoundTrips(t *testing.T) {
 		t.Errorf("round trip changed span:\n got %+v\nwant %+v", s, tr.Spans()[0])
 	}
 }
+
+// TestReplayNormalize pins the §11 normalization rules: persist_hit spans
+// become ok-attempts, cache_hit/cache_wait/memo_mismatch spans vanish, and
+// per-key sequence numbers are renumbered over what remains so a warm trace
+// lines up span for span with its cold counterpart.
+func TestReplayNormalize(t *testing.T) {
+	k := Key{Doc: "d", Claim: 1, Method: "oneshot", Try: 1}
+	other := Key{Doc: "d", Claim: 2, Method: "oneshot", Try: 1}
+	cold := []Span{
+		{Key: k, Seq: 0, Kind: KindAttempt, Model: "m", Fee: 0.5, Outcome: OutcomeOK},
+		{Key: k, Seq: 1, Kind: KindOutcome, Outcome: OutcomeVerified},
+		{Key: other, Seq: 0, Kind: KindCacheHit, Model: "m"},
+		{Key: other, Seq: 1, Kind: KindAttempt, Model: "m", Fee: 0.5, Outcome: OutcomeOK},
+		{Key: other, Seq: 2, Kind: KindOutcome, Outcome: OutcomeVerified},
+	}
+	warm := []Span{
+		{Key: k, Seq: 0, Kind: KindPersistHit, Model: "m", Fee: 0.5, Outcome: OutcomeOK},
+		{Key: k, Seq: 1, Kind: KindOutcome, Outcome: OutcomeVerified},
+		{Key: other, Seq: 0, Kind: KindCacheWait, Model: "m", Outcome: OutcomeOK},
+		{Key: other, Seq: 1, Kind: KindMemoMismatch, Outcome: OutcomeError},
+		{Key: other, Seq: 2, Kind: KindPersistHit, Model: "m", Fee: 0.5, Outcome: OutcomeOK},
+		{Key: other, Seq: 3, Kind: KindOutcome, Outcome: OutcomeVerified},
+	}
+	nc, nw := ReplayNormalize(cold), ReplayNormalize(warm)
+	if len(nc) != 4 || len(nw) != 4 {
+		t.Fatalf("normalized lengths = %d/%d, want 4/4", len(nc), len(nw))
+	}
+	for i := range nc {
+		if nc[i] != nw[i] {
+			t.Errorf("span %d diverged after normalization:\n cold %+v\n warm %+v", i, nc[i], nw[i])
+		}
+	}
+	if nc[0].Kind != KindAttempt || nc[0].Outcome != OutcomeOK {
+		t.Errorf("persist_hit not rewritten to ok-attempt: %+v", nw[0])
+	}
+	// Renumbering: the surviving spans of `other` must be seq 0, 1.
+	if nw[2].Seq != 0 || nw[3].Seq != 1 {
+		t.Errorf("per-key seq not renumbered: %d, %d", nw[2].Seq, nw[3].Seq)
+	}
+	// Input order and content untouched (normalization copies).
+	if warm[0].Kind != KindPersistHit || warm[2].Seq != 0 {
+		t.Error("ReplayNormalize mutated its input")
+	}
+}
