@@ -2,15 +2,16 @@
 # verification gate: build, vet, the complete test suite under the race
 # detector, the chaos suite (fault injection + resilience middleware), the
 # golden-trace determinism gate, the persistent-store gate (crash-recovery
-# sweep + cross-process determinism), and a short fuzz smoke over the SQL
-# parser/executor and the store's segment decoder.
+# sweep + cross-process determinism), the SQL differential gate (vectorized
+# executor vs row oracle + plan-cache stress), and a short fuzz smoke over
+# the SQL parser/executor and the store's segment decoder.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build vet test race chaos trace store fuzz-smoke doclint bench
+.PHONY: check build vet test race chaos trace store sqldiff fuzz-smoke doclint bench
 
-check: build vet race chaos trace store fuzz-smoke doclint
+check: build vet race chaos trace store sqldiff fuzz-smoke doclint
 
 build:
 	$(GO) build ./...
@@ -55,12 +56,24 @@ store:
 doclint:
 	$(GO) test -run 'Doclint' ./cmd/... ./internal/doclint
 
+# SQL differential gate under the race detector (DESIGN.md §12): the
+# old-vs-new harness (stored corpus + >=1000 generated queries through both
+# the row oracle and the vectorized executor, bit-identical results and
+# error surfaces), the pushdown row-count property, the plan-cache suite
+# (normalized sharing, invalidation, cap, 32-goroutine mixed
+# prepare/execute/invalidate stress), and the warm-cache verdict/trace
+# determinism tests at the pipeline level.
+sqldiff:
+	$(GO) test -race -run 'Differential|PlanCache|Pushdown|ExplainQuery|WarmPlanCache|HashJoinMatches' \
+		./internal/sqldb ./internal/data ./internal/core
+
 # Each fuzz target gets a short exploratory burst on top of its seed corpus
 # (the seeds alone already run as part of `go test`).
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzParse$$ -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run NONE -fuzz FuzzQuery$$ -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run NONE -fuzz FuzzParseAndExec$$ -fuzztime $(FUZZTIME) ./internal/sqldb
+	$(GO) test -run NONE -fuzz FuzzPlanCacheKey$$ -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run NONE -fuzz FuzzStoreDecode$$ -fuzztime $(FUZZTIME) ./internal/store
 
 bench:

@@ -17,6 +17,7 @@
 //	modelfit   extended report — modeled vs realized accuracy
 //	servebench serving mode — req/s and latency quantiles under HTTP load
 //	storebench persistent store — cold vs warm fees, calls, and hit rate
+//	sqlbench   SQL engine — vectorized executor vs row oracle, plan cache cold vs warm
 //	all        run everything above
 package main
 
@@ -76,6 +77,9 @@ func experiments() []experiment {
 		{"storebench", "Persistent result store: cold vs warm fees, calls, and hit rate", func(s int64, w int) (result, error) {
 			return exp.StoreBench(s, w)
 		}},
+		{"sqlbench", "SQL engine: vectorized executor vs row oracle, plan cache cold vs warm", func(s int64, w int) (result, error) {
+			return exp.SQLBench(s, w)
+		}},
 	}
 }
 
@@ -93,6 +97,7 @@ type benchOptions struct {
 	TraceSummary bool
 	CacheDir     string
 	StoreJSON    string
+	SQLJSON      string
 }
 
 // defineFlags registers the binary's flags on fs, bound to the returned
@@ -112,6 +117,7 @@ func defineFlags(fs *flag.FlagSet) *benchOptions {
 	fs.BoolVar(&o.TraceSummary, "trace-summary", false, "print per-method/per-model trace rollups and the run manifest to stderr")
 	fs.StringVar(&o.CacheDir, "cache-dir", "", "persist temperature-0 completions in this directory; repeated experiment runs answer persisted work at zero fee (DESIGN.md §11)")
 	fs.StringVar(&o.StoreJSON, "store-json", "", "write the storebench result as JSON to this file (e.g. BENCH_store.json)")
+	fs.StringVar(&o.SQLJSON, "sqlbench-json", "", "write the sqlbench result as JSON to this file (e.g. BENCH_sql.json)")
 	return o
 }
 
@@ -147,7 +153,8 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	ran, err := runExperiments(os.Stdout, flag.Arg(0), o.Seed, o.Workers, o.AsCSV, o.StoreJSON)
+	ran, err := runExperiments(os.Stdout, flag.Arg(0), o.Seed, o.Workers, o.AsCSV,
+		map[string]string{"storebench": o.StoreJSON, "sqlbench": o.SQLJSON})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-bench:", err)
 		os.Exit(1)
@@ -189,12 +196,14 @@ func exportTrace(tracer *trace.Tracer, path string, summary bool, seed int64, wo
 }
 
 // jsonResult is implemented by results with a machine-readable JSON artifact
-// (currently storebench; see -store-json).
+// (storebench via -store-json, sqlbench via -sqlbench-json).
 type jsonResult interface{ JSON() ([]byte, error) }
 
 // runExperiments executes every experiment matching want ("all" matches
-// each) and writes its rendering to w. It reports whether anything matched.
-func runExperiments(w io.Writer, want string, seed int64, workers int, asCSV bool, storeJSON string) (bool, error) {
+// each) and writes its rendering to w. jsonPaths maps experiment names to
+// destination files for their JSON artifacts. It reports whether anything
+// matched.
+func runExperiments(w io.Writer, want string, seed int64, workers int, asCSV bool, jsonPaths map[string]string) (bool, error) {
 	ran := false
 	for _, e := range experiments() {
 		if want != "all" && want != e.name {
@@ -205,16 +214,16 @@ func runExperiments(w io.Writer, want string, seed int64, workers int, asCSV boo
 		if err != nil {
 			return ran, fmt.Errorf("%s: %w", e.name, err)
 		}
-		if storeJSON != "" && e.name == "storebench" {
+		if path := jsonPaths[e.name]; path != "" {
 			if j, ok := res.(jsonResult); ok {
 				blob, err := j.JSON()
 				if err != nil {
 					return ran, fmt.Errorf("%s: %w", e.name, err)
 				}
-				if err := os.WriteFile(storeJSON, append(blob, '\n'), 0o644); err != nil {
+				if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 					return ran, fmt.Errorf("%s: %w", e.name, err)
 				}
-				fmt.Fprintf(os.Stderr, "storebench result written to %s\n", storeJSON)
+				fmt.Fprintf(os.Stderr, "%s result written to %s\n", e.name, path)
 			}
 		}
 		if asCSV {

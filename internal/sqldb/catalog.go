@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Column describes one column of a table.
@@ -109,11 +110,18 @@ func mergeKind(cur, next Kind) Kind {
 	return KindText
 }
 
-// Database is a named collection of tables.
+// Database is a named collection of tables. Catalog reads and writes are
+// safe for concurrent use; the tables themselves must not be mutated after
+// registration while queries run against them.
 type Database struct {
-	Name   string
-	tables map[string]*Table
-	order  []string
+	Name string
+
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	order   []string
+	version uint64 // bumped on every catalog change; guards cached plans
+
+	plans planCache // parsed-plan / prepared-statement cache (stmt_cache.go)
 }
 
 // NewDatabase constructs an empty database.
@@ -122,22 +130,52 @@ func NewDatabase(name string) *Database {
 }
 
 // AddTable registers a table, replacing any previous table with the same
-// (case-insensitive) name.
+// (case-insensitive) name. Any cached query plans are invalidated: they may
+// have bound column positions against the replaced schema.
 func (d *Database) AddTable(t *Table) {
+	d.mu.Lock()
 	key := strings.ToLower(t.Name)
 	if _, exists := d.tables[key]; !exists {
 		d.order = append(d.order, key)
 	}
 	d.tables[key] = t
+	d.version++
+	d.mu.Unlock()
+	d.plans.flush()
 }
 
 // Table returns the named table (case-insensitive), or nil when absent.
 func (d *Database) Table(name string) *Table {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.tables[strings.ToLower(name)]
+}
+
+// Version returns the catalog version, which increments on every AddTable.
+// Cached plans carry the version they were compiled against.
+func (d *Database) Version() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.version
+}
+
+// snapshotTables resolves the named tables and the catalog version in one
+// atomic step, so a concurrent AddTable cannot hand an executor a table
+// whose schema differs from the plan it is about to run.
+func (d *Database) snapshotTables(names []string) ([]*Table, uint64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*Table, len(names))
+	for i, n := range names {
+		out[i] = d.tables[strings.ToLower(n)]
+	}
+	return out, d.version
 }
 
 // Tables returns all tables in registration order.
 func (d *Database) Tables() []*Table {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]*Table, 0, len(d.order))
 	for _, k := range d.order {
 		out = append(out, d.tables[k])
@@ -147,6 +185,8 @@ func (d *Database) Tables() []*Table {
 
 // TableNames returns the registered table names in registration order.
 func (d *Database) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]string, 0, len(d.order))
 	for _, k := range d.order {
 		out = append(out, d.tables[k].Name)

@@ -36,13 +36,48 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// Query parses and executes a SELECT statement against db.
+// Engine executes parsed SELECT statements. Two implementations exist: Row,
+// the original tree-walking row-at-a-time evaluator (kept as the semantic
+// oracle), and Vectorized, the columnar batch executor. The differential
+// test harness cross-checks one against the other.
+type Engine interface {
+	// Name identifies the engine in diagnostics and benchmarks.
+	Name() string
+	// ExecStmt executes stmt against db.
+	ExecStmt(db *Database, stmt *SelectStmt) (*Result, error)
+}
+
+type rowEngine struct{}
+
+func (rowEngine) Name() string { return "row" }
+func (rowEngine) ExecStmt(db *Database, stmt *SelectStmt) (*Result, error) {
+	return Exec(db, stmt)
+}
+
+type vecEngine struct{}
+
+func (vecEngine) Name() string { return "vectorized" }
+func (vecEngine) ExecStmt(db *Database, stmt *SelectStmt) (*Result, error) {
+	return ExecVec(db, stmt)
+}
+
+// Row is the row-at-a-time oracle engine.
+var Row Engine = rowEngine{}
+
+// Vectorized is the columnar batch engine.
+var Vectorized Engine = vecEngine{}
+
+// Query parses and executes a SELECT statement against db. Parsed plans are
+// cached on the database keyed by normalized query text, and execution runs
+// on the vectorized engine; any vectorized-execution error falls back to the
+// row-at-a-time oracle, so callers observe exactly the row engine's results
+// and error surface.
 func Query(db *Database, sql string) (*Result, error) {
-	stmt, err := Parse(sql)
+	pe, err := db.plans.lookup(db, sql)
 	if err != nil {
 		return nil, err
 	}
-	return Exec(db, stmt)
+	return pe.exec(db)
 }
 
 // QueryScalar executes sql and returns its single-cell result. Queries used
@@ -55,7 +90,10 @@ func QueryScalar(db *Database, sql string) (Value, error) {
 	return res.Scalar()
 }
 
-// Exec executes a parsed statement against db.
+// Exec executes a parsed statement against db on the row-at-a-time
+// evaluator — the semantic oracle the vectorized engine is differentially
+// tested against, and the fallback Query runs when vectorized execution
+// declines a statement.
 func Exec(db *Database, stmt *SelectStmt) (*Result, error) {
 	ex := &executor{db: db}
 	return ex.execSelect(stmt, nil)
@@ -126,10 +164,6 @@ func (ex *executor) execSelect(stmt *SelectStmt, outer *env) (*Result, error) {
 	}
 	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil || itemsHaveAggregate(items)
 
-	type outRow struct {
-		cells []Value
-		keys  []Value // ORDER BY keys
-	}
 	var out []outRow
 	cols := projectionNames(items)
 
@@ -201,6 +235,19 @@ func (ex *executor) execSelect(stmt *SelectStmt, outer *env) (*Result, error) {
 		}
 	}
 
+	return finishSelect(stmt, cols, out), nil
+}
+
+// outRow is one projected row awaiting the DISTINCT/ORDER BY/LIMIT tail.
+type outRow struct {
+	cells []Value
+	keys  []Value // ORDER BY keys
+}
+
+// finishSelect applies the statement tail — DISTINCT, ORDER BY, OFFSET,
+// LIMIT — and assembles the final result. Both engines share this code so
+// ordering, deduplication, and truncation semantics cannot diverge.
+func finishSelect(stmt *SelectStmt, cols []string, out []outRow) *Result {
 	if stmt.Distinct {
 		seen := make(map[string]bool)
 		dedup := out[:0:0]
@@ -259,7 +306,7 @@ func (ex *executor) execSelect(stmt *SelectStmt, outer *env) (*Result, error) {
 	for _, r := range out {
 		res.Rows = append(res.Rows, r.cells)
 	}
-	return res, nil
+	return res
 }
 
 // orderKey evaluates an ORDER BY expression, resolving bare names that match

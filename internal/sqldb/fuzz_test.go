@@ -87,6 +87,9 @@ func FuzzQuery(f *testing.F) {
 // accepts must execute against a small multi-table catalog without panicking,
 // and the statement's rendered SQL must execute to the same rows — so the
 // parse/render/execute triangle stays consistent on fuzzer-mangled inputs.
+// It doubles as a differential fuzz target: every statement also runs through
+// the vectorized engine, which must never succeed where the row oracle fails
+// and must agree bit-for-bit when both succeed.
 func FuzzParseAndExec(f *testing.F) {
 	db := NewDatabase("catalog")
 	airlines := NewTable("airlines", "airline", "region", "fatal_accidents")
@@ -119,8 +122,15 @@ func FuzzParseAndExec(f *testing.F) {
 			return
 		}
 		res, err := Exec(db, stmt)
+		vecRes, vecErr := ExecVec(db, stmt)
 		if err != nil {
+			if vecErr == nil {
+				t.Fatalf("vectorized engine succeeded where the row oracle fails:\ninput: %q\nrow err: %v\nvec: %s", src, err, vecRes.String())
+			}
 			return // semantic rejection is fine; panics are not
+		}
+		if vecErr == nil && res.String() != vecRes.String() {
+			t.Fatalf("engines disagree:\ninput: %q\nrow:\n%s\nvec:\n%s", src, res.String(), vecRes.String())
 		}
 		rendered := stmt.SQL()
 		res2, err := Query(db, rendered)
@@ -130,6 +140,64 @@ func FuzzParseAndExec(f *testing.F) {
 		if res.String() != res2.String() {
 			t.Fatalf("rendered SQL changes the result:\ninput:    %q\nrendered: %q\ngot:  %s\nwant: %s",
 				src, rendered, res2.String(), res.String())
+		}
+	})
+}
+
+// FuzzPlanCacheKey attacks the plan cache's normalized keying with pairs of
+// statements: two statements that normalize to the same text must share one
+// plan entry (the prepared-statement sharing guarantee), and two that
+// normalize differently must never collide into one entry (key injectivity —
+// a collision would silently run the wrong plan).
+func FuzzPlanCacheKey(f *testing.F) {
+	pairs := [][2]string{
+		{`SELECT a FROM t`, `SELECT  a  FROM  t`},
+		{`SELECT a FROM t`, `SELECT "a" FROM "t"`},
+		{`SELECT a FROM t`, `SELECT b FROM t`},
+		{`SELECT a FROM t WHERE b = 1`, `SELECT a FROM t WHERE b = 1.0`},
+		{`SELECT a FROM t LIMIT 1`, `SELECT a FROM t LIMIT 1 OFFSET 0`},
+		{`SELECT COUNT(*) FROM t`, `SELECT COUNT(a) FROM t`},
+		{`SELECT a FROM t ORDER BY 1`, `SELECT a FROM t ORDER BY 1 DESC`},
+		{`SELECT 'x'`, `SELECT 'x '`},
+	}
+	for _, p := range pairs {
+		f.Add(p[0], p[1])
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 300 || len(b) > 300 {
+			return
+		}
+		na, errA := Normalize(a)
+		nb, errB := Normalize(b)
+		if errA != nil || errB != nil {
+			return // unparsable input is never cached; nothing to key
+		}
+		db := NewDatabase("fz")
+		tab := NewTable("t", "a", "b", "c")
+		tab.MustAppendRow(Text("x"), Int(1), Float(1.5))
+		db.AddTable(tab)
+
+		ea, err := db.plans.lookup(db, a)
+		if err != nil {
+			t.Fatalf("lookup(%q) failed after Normalize succeeded: %v", a, err)
+		}
+		eb, err := db.plans.lookup(db, b)
+		if err != nil {
+			t.Fatalf("lookup(%q) failed after Normalize succeeded: %v", b, err)
+		}
+		if ea.norm != na || eb.norm != nb {
+			t.Fatalf("cached entry norm drifted from Normalize:\nentry a: %q vs %q\nentry b: %q vs %q", ea.norm, na, eb.norm, nb)
+		}
+		if na == nb && ea != eb {
+			t.Fatalf("equal normalized text did not share a plan:\na: %q\nb: %q\nnorm: %q", a, b, na)
+		}
+		if na != nb && ea == eb {
+			t.Fatalf("plan cache collision:\na: %q -> %q\nb: %q -> %q", a, na, b, nb)
+		}
+		// Re-looking up a must hit the same normalized plan.
+		ea2, err := db.plans.lookup(db, a)
+		if err != nil || ea2.norm != na {
+			t.Fatalf("re-lookup of %q: err=%v norm=%q want %q", a, err, ea2.norm, na)
 		}
 	})
 }

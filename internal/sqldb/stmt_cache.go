@@ -1,0 +1,198 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// stmt_cache.go is the parsed-plan / prepared-statement cache. Plans are
+// keyed twice: by the raw query text (the fast path — a repeated query skips
+// the lexer and parser entirely) and by the normalized rendering of the
+// parsed statement (stmt.SQL()), so differently spelled but structurally
+// identical queries share one compiled plan. Entries carry the catalog
+// version they were compiled against; AddTable flushes the cache and bumps
+// the version, and a version mismatch at lookup or execution time forces
+// recompilation, so no query ever runs against a plan bound to a previous
+// schema. All operations are safe under concurrent verify workers.
+
+// planCacheCap bounds the cache; reaching it flushes wholesale (the verify
+// workloads cycle through a small set of template-generated queries, so an
+// LRU would buy nothing over the simple scheme).
+const planCacheCap = 512
+
+// planEntry is one cached prepared statement: the parsed AST, its normalized
+// text, and the compiled vectorized plan (nil when the statement is
+// row-only).
+type planEntry struct {
+	stmt    *SelectStmt
+	norm    string
+	version uint64
+	vp      *vecPlan
+}
+
+// exec runs the entry: the vectorized plan when present, with unconditional
+// fallback to the row-engine oracle on any vectorized-execution error. The
+// fallback guarantees callers observe exactly the row engine's results and
+// error surface regardless of what the vectorized engine covers.
+func (pe *planEntry) exec(db *Database) (*Result, error) {
+	if pe.vp != nil {
+		if res, err := pe.vp.run(db); err == nil {
+			return res, nil
+		}
+	}
+	return Exec(db, pe.stmt)
+}
+
+// planCache caches planEntries per database.
+type planCache struct {
+	mu     sync.Mutex
+	byRaw  map[string]*planEntry
+	byNorm map[string]*planEntry
+	hits   uint64
+	misses uint64
+}
+
+// lookup returns a prepared entry for sql, parsing and compiling on miss.
+// Parse errors are returned verbatim and never cached.
+func (c *planCache) lookup(db *Database, sql string) (*planEntry, error) {
+	ver := db.Version()
+	c.mu.Lock()
+	if e, ok := c.byRaw[sql]; ok && e.version == ver {
+		c.hits++
+		c.mu.Unlock()
+		return e, nil
+	}
+	c.mu.Unlock()
+
+	stmt, err := Parse(sql)
+	if err != nil {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return nil, err
+	}
+	norm := stmt.SQL()
+
+	c.mu.Lock()
+	if e, ok := c.byNorm[norm]; ok && e.version == ver {
+		// A new raw spelling of an already-compiled plan: register the alias
+		// and share the entry.
+		c.hits++
+		c.ensureMaps()
+		if len(c.byRaw) < planCacheCap {
+			c.byRaw[sql] = e
+		}
+		c.mu.Unlock()
+		return e, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	e := &planEntry{stmt: stmt, norm: norm, version: ver, vp: compilePlan(db, stmt)}
+	if e.vp != nil && e.vp.version != ver {
+		// The catalog changed between the version read and compilation;
+		// serve the entry uncached. Its execution falls back to the row
+		// engine via the stale-plan guard, and the next lookup recompiles.
+		return e, nil
+	}
+	c.mu.Lock()
+	if len(c.byRaw) >= planCacheCap || len(c.byNorm) >= planCacheCap {
+		c.flushLocked()
+	}
+	c.ensureMaps()
+	c.byRaw[sql] = e
+	c.byNorm[norm] = e
+	c.mu.Unlock()
+	return e, nil
+}
+
+func (c *planCache) ensureMaps() {
+	if c.byRaw == nil {
+		c.byRaw = make(map[string]*planEntry)
+		c.byNorm = make(map[string]*planEntry)
+	}
+}
+
+// flush drops every cached plan (catalog change, cap overflow).
+func (c *planCache) flush() {
+	c.mu.Lock()
+	c.flushLocked()
+	c.mu.Unlock()
+}
+
+func (c *planCache) flushLocked() {
+	c.byRaw = nil
+	c.byNorm = nil
+}
+
+// PlanCacheStats is a snapshot of a database's plan-cache counters.
+type PlanCacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// PlanCacheStats returns cumulative hit/miss counters and the current entry
+// count (distinct normalized plans).
+func (d *Database) PlanCacheStats() PlanCacheStats {
+	c := &d.plans
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.byNorm)}
+}
+
+// InvalidatePlans drops all cached plans, forcing the next execution of each
+// query to re-parse and re-compile. Benchmarks use it to measure the cold
+// path; AddTable invokes the same flush internally.
+func (d *Database) InvalidatePlans() {
+	d.plans.flush()
+}
+
+// Normalize parses sql and renders it back to canonical text — the plan
+// cache's sharing key. Two queries normalize equal iff they parse to
+// structurally identical statements.
+func Normalize(sql string) (string, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	return stmt.SQL(), nil
+}
+
+// ExplainQuery describes how the vectorized engine would execute sql:
+// per-scan pushed-down predicate counts, the join algorithm per join,
+// residual filter count, and the pipeline kind. Statements outside the
+// vectorizable surface report "row-only". Tests use it to assert that
+// predicate pushdown actually occurs.
+func ExplainQuery(db *Database, sql string) (string, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	p := compilePlan(db, stmt)
+	if p == nil {
+		return "row-only\n", nil
+	}
+	return p.explain(), nil
+}
+
+func (p *vecPlan) explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vectorized batch=%d\n", p.batch)
+	for i, s := range p.scans {
+		if i == 0 {
+			fmt.Fprintf(&b, "scan %s pushed=%d\n", s.table, len(s.pushed))
+			continue
+		}
+		j := p.joins[i-1]
+		alg := "nested-loop"
+		if j.hash {
+			alg = "hash"
+		}
+		fmt.Fprintf(&b, "%s join (%s) %s pushed=%d\n",
+			strings.ToLower(j.kind), alg, s.table, len(s.pushed))
+	}
+	fmt.Fprintf(&b, "residual=%d aggregated=%v\n", len(p.residual), p.aggregated)
+	return b.String()
+}

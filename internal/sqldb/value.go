@@ -251,6 +251,176 @@ func (v Value) key() string {
 	}
 }
 
+// Vec is a typed column vector: the unit of data the vectorized executor
+// moves between operators. Columns whose values are uniformly integral or
+// floating-point are stored unboxed (with a parallel null mask); columns
+// that mix kinds demote to generic Value storage on first mismatch. All
+// accessors reconstruct exactly the Value a row-at-a-time evaluator would
+// have seen, so the two engines cannot diverge through storage.
+type Vec struct {
+	kind   Kind    // KindInt or KindFloat for unboxed storage, KindNull for generic
+	ints   []int64 // unboxed values when kind == KindInt
+	floats []float64
+	nulls  []bool  // parallel null mask for unboxed storage
+	any    []Value // generic storage when kind == KindNull
+}
+
+// NewVec returns an empty vector with storage hinted by kind (pass KindNull
+// for generic storage) and capacity for n values.
+func NewVec(kind Kind, n int) *Vec {
+	switch kind {
+	case KindInt:
+		return &Vec{kind: KindInt, ints: make([]int64, 0, n), nulls: make([]bool, 0, n)}
+	case KindFloat:
+		return &Vec{kind: KindFloat, floats: make([]float64, 0, n), nulls: make([]bool, 0, n)}
+	default:
+		return &Vec{any: make([]Value, 0, n)}
+	}
+}
+
+// Len returns the number of values in the vector.
+func (v *Vec) Len() int {
+	if v.kind == KindNull {
+		return len(v.any)
+	}
+	return len(v.nulls)
+}
+
+// At returns the i'th value.
+func (v *Vec) At(i int) Value {
+	switch v.kind {
+	case KindInt:
+		if v.nulls[i] {
+			return Null()
+		}
+		return Int(v.ints[i])
+	case KindFloat:
+		if v.nulls[i] {
+			return Null()
+		}
+		return Float(v.floats[i])
+	default:
+		return v.any[i]
+	}
+}
+
+// Append adds a value, demoting the vector to generic storage when the
+// value's kind does not match the unboxed storage kind.
+func (v *Vec) Append(val Value) {
+	switch v.kind {
+	case KindInt:
+		switch val.kind {
+		case KindInt:
+			v.ints = append(v.ints, val.i)
+			v.nulls = append(v.nulls, false)
+			return
+		case KindNull:
+			v.ints = append(v.ints, 0)
+			v.nulls = append(v.nulls, true)
+			return
+		}
+	case KindFloat:
+		switch val.kind {
+		case KindFloat:
+			v.floats = append(v.floats, val.f)
+			v.nulls = append(v.nulls, false)
+			return
+		case KindNull:
+			v.floats = append(v.floats, 0)
+			v.nulls = append(v.nulls, true)
+			return
+		}
+	default:
+		v.any = append(v.any, val)
+		return
+	}
+	v.demote()
+	v.any = append(v.any, val)
+}
+
+// demote rewrites unboxed storage as generic Values.
+func (v *Vec) demote() {
+	n := v.Len()
+	any := make([]Value, 0, n+1)
+	for i := 0; i < n; i++ {
+		any = append(any, v.At(i))
+	}
+	v.kind, v.ints, v.floats, v.nulls, v.any = KindNull, nil, nil, nil, any
+}
+
+// Gather returns a new vector holding v[idx[0]], v[idx[1]], ... A negative
+// index yields NULL (used for the padding side of outer joins).
+func (v *Vec) Gather(idx []int) *Vec {
+	out := NewVec(v.kind, len(idx))
+	switch v.kind {
+	case KindInt:
+		for _, i := range idx {
+			if i < 0 || v.nulls[i] {
+				out.ints = append(out.ints, 0)
+				out.nulls = append(out.nulls, true)
+			} else {
+				out.ints = append(out.ints, v.ints[i])
+				out.nulls = append(out.nulls, false)
+			}
+		}
+	case KindFloat:
+		for _, i := range idx {
+			if i < 0 || v.nulls[i] {
+				out.floats = append(out.floats, 0)
+				out.nulls = append(out.nulls, true)
+			} else {
+				out.floats = append(out.floats, v.floats[i])
+				out.nulls = append(out.nulls, false)
+			}
+		}
+	default:
+		for _, i := range idx {
+			if i < 0 {
+				out.any = append(out.any, Null())
+			} else {
+				out.any = append(out.any, v.any[i])
+			}
+		}
+	}
+	return out
+}
+
+// AppendVec appends all of o's values, with an unboxed bulk copy when both
+// vectors share typed storage.
+func (v *Vec) AppendVec(o *Vec) {
+	if v.kind == o.kind && v.kind != KindNull {
+		switch v.kind {
+		case KindInt:
+			v.ints = append(v.ints, o.ints...)
+		case KindFloat:
+			v.floats = append(v.floats, o.floats...)
+		}
+		v.nulls = append(v.nulls, o.nulls...)
+		return
+	}
+	for i, n := 0, o.Len(); i < n; i++ {
+		v.Append(o.At(i))
+	}
+}
+
+// IsNullAt reports whether the i'th value is NULL without boxing it.
+func (v *Vec) IsNullAt(i int) bool {
+	if v.kind == KindNull {
+		return v.any[i].IsNull()
+	}
+	return v.nulls[i]
+}
+
+// appendKey appends the i'th value's grouping key (Value.key) to dst. The
+// unboxed integer path mirrors Value.key's "\x00I" + decimal form directly.
+func (v *Vec) appendKey(i int, dst []byte) []byte {
+	if v.kind == KindInt && !v.nulls[i] {
+		dst = append(dst, 0, 'I')
+		return strconv.AppendInt(dst, v.ints[i], 10)
+	}
+	return append(dst, v.At(i).key()...)
+}
+
 // inferLiteral converts raw text (e.g. from CSV ingestion) to the most
 // specific value kind: integer, float, then text. Empty strings become NULL.
 func inferLiteral(raw string) Value {

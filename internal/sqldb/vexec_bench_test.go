@@ -1,0 +1,59 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchDB mirrors the fact/dim shape exp.SQLBench measures, at a fixed
+// cardinality, so `go test -bench` can profile the engines directly.
+func benchDB(n int) *Database {
+	rng := rand.New(rand.NewSource(7))
+	db := NewDatabase("bench")
+	dimN := n / 8
+	dim := NewTable("dim", "k", "name", "w")
+	for i := 0; i < dimN; i++ {
+		dim.MustAppendRow(Int(int64(i)), Text(fmt.Sprintf("d%03d", i%97)), Float(rng.Float64()*100))
+	}
+	db.AddTable(dim)
+	fact := NewTable("fact", "id", "k", "v")
+	for i := 0; i < n; i++ {
+		k := Value(Int(int64(rng.Intn(dimN + dimN/4))))
+		if rng.Intn(50) == 0 {
+			k = Null()
+		}
+		fact.MustAppendRow(Int(int64(i)), k, Float(rng.Float64()*1000-200))
+	}
+	db.AddTable(fact)
+	return db
+}
+
+const benchJoinAgg = `SELECT d.name, COUNT(*), SUM(f.v) FROM fact f JOIN dim d ON f.k = d.k GROUP BY d.name ORDER BY 2 DESC, 1`
+
+func BenchmarkJoinAggRow(b *testing.B) {
+	db := benchDB(16000)
+	stmt, err := Parse(benchJoinAgg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exec(db, stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinAggVecWarm(b *testing.B) {
+	db := benchDB(16000)
+	if _, err := Query(db, benchJoinAgg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Query(db, benchJoinAgg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
