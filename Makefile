@@ -3,15 +3,16 @@
 # detector, the chaos suite (fault injection + resilience middleware), the
 # golden-trace determinism gate, the persistent-store gate (crash-recovery
 # sweep + cross-process determinism), the SQL differential gate (vectorized
-# executor vs row oracle + plan-cache stress), and a short fuzz smoke over
-# the SQL parser/executor and the store's segment decoder.
+# executor vs row oracle + plan-cache stress), the sharded-serving gate
+# (multi-replica determinism + failover), and a short fuzz smoke over the
+# SQL parser/executor, the store's segment decoder, and the shard ring.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build vet test race chaos trace store sqldiff fuzz-smoke doclint bench
+.PHONY: check build vet test race chaos trace store sqldiff shard fuzz-smoke doclint bench
 
-check: build vet race chaos trace store sqldiff fuzz-smoke doclint
+check: build vet race chaos trace store sqldiff shard fuzz-smoke doclint
 
 build:
 	$(GO) build ./...
@@ -67,6 +68,17 @@ sqldiff:
 	$(GO) test -race -run 'Differential|PlanCache|Pushdown|ExplainQuery|WarmPlanCache|HashJoinMatches' \
 		./internal/sqldb ./internal/data ./internal/core
 
+# Sharded-serving gate under the race detector (DESIGN.md §13): ring
+# determinism/minimal-movement units and the 32-goroutine membership stress,
+# the replica health prober/breaker, proxy failover, coordinator
+# routing/fan-out/drain-rebalance, the cmd-level multi-replica identity
+# harness (bit-identical verdicts and normalized traces at shard counts
+# {1,2,4,8}, including a mid-load replica kill), and the shardbench schema
+# pin.
+shard:
+	$(GO) test -race -run 'Shard|Ring|Prober|Coordinator|Failover|Rebalance|RouteKey' \
+		./internal/shard ./internal/serve ./cmd/cedar-serve ./internal/exp
+
 # Each fuzz target gets a short exploratory burst on top of its seed corpus
 # (the seeds alone already run as part of `go test`).
 fuzz-smoke:
@@ -75,6 +87,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzParseAndExec$$ -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run NONE -fuzz FuzzPlanCacheKey$$ -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run NONE -fuzz FuzzStoreDecode$$ -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run NONE -fuzz FuzzRingAssign$$ -fuzztime $(FUZZTIME) ./internal/shard
 
 bench:
 	$(GO) test -bench . -benchmem ./...

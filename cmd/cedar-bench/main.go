@@ -16,6 +16,7 @@
 //	fig7       Figure 7 — schedule robustness across domains
 //	modelfit   extended report — modeled vs realized accuracy
 //	servebench serving mode — req/s and latency quantiles under HTTP load
+//	shardbench sharded serving — aggregate throughput vs replica count at 10k clients
 //	storebench persistent store — cold vs warm fees, calls, and hit rate
 //	sqlbench   SQL engine — vectorized executor vs row oracle, plan cache cold vs warm
 //	all        run everything above
@@ -74,6 +75,9 @@ func experiments() []experiment {
 		{"servebench", "Serving mode: req/s and latency quantiles under concurrent HTTP load", func(s int64, w int) (result, error) {
 			return exp.ServeBench(s, w)
 		}},
+		{"shardbench", "Sharded serving: aggregate throughput vs replica count at 10k concurrent clients", func(s int64, w int) (result, error) {
+			return exp.ShardBench(s, w)
+		}},
 		{"storebench", "Persistent result store: cold vs warm fees, calls, and hit rate", func(s int64, w int) (result, error) {
 			return exp.StoreBench(s, w)
 		}},
@@ -98,6 +102,7 @@ type benchOptions struct {
 	CacheDir     string
 	StoreJSON    string
 	SQLJSON      string
+	ShardJSON    string
 }
 
 // defineFlags registers the binary's flags on fs, bound to the returned
@@ -118,6 +123,7 @@ func defineFlags(fs *flag.FlagSet) *benchOptions {
 	fs.StringVar(&o.CacheDir, "cache-dir", "", "persist temperature-0 completions in this directory; repeated experiment runs answer persisted work at zero fee (DESIGN.md §11)")
 	fs.StringVar(&o.StoreJSON, "store-json", "", "write the storebench result as JSON to this file (e.g. BENCH_store.json)")
 	fs.StringVar(&o.SQLJSON, "sqlbench-json", "", "write the sqlbench result as JSON to this file (e.g. BENCH_sql.json)")
+	fs.StringVar(&o.ShardJSON, "shard-json", "", "write the shardbench result as JSON to this file (e.g. BENCH_shard.json)")
 	return o
 }
 
@@ -154,7 +160,7 @@ func main() {
 		os.Exit(2)
 	}
 	ran, err := runExperiments(os.Stdout, flag.Arg(0), o.Seed, o.Workers, o.AsCSV,
-		map[string]string{"storebench": o.StoreJSON, "sqlbench": o.SQLJSON})
+		map[string]string{"storebench": o.StoreJSON, "sqlbench": o.SQLJSON, "shardbench": o.ShardJSON})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-bench:", err)
 		os.Exit(1)
@@ -196,7 +202,8 @@ func exportTrace(tracer *trace.Tracer, path string, summary bool, seed int64, wo
 }
 
 // jsonResult is implemented by results with a machine-readable JSON artifact
-// (storebench via -store-json, sqlbench via -sqlbench-json).
+// (storebench via -store-json, sqlbench via -sqlbench-json, shardbench via
+// -shard-json).
 type jsonResult interface{ JSON() ([]byte, error) }
 
 // runExperiments executes every experiment matching want ("all" matches

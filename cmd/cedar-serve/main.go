@@ -19,17 +19,33 @@
 // seed, same database, same claims ⇒ same verdicts and fees, regardless of
 // how requests were batched. SIGINT/SIGTERM drain gracefully: admitted
 // requests finish, new ones get 503, then the process exits.
+//
+// The binary also scales out horizontally (DESIGN.md §13). With
+// -coordinator it verifies nothing itself: it routes each request to one of
+// the -replicas processes by the consistent hash of the request's
+// claim/config fingerprint, health-probes the replicas (ejecting dead or
+// draining ones and rehashing their keyspace), and merges fan-out batches.
+// A replica started with -replica-of registers itself with its coordinator
+// on startup and deregisters as the first step of its graceful drain.
+// Because verdicts are deterministic per (seed, database, claims), every
+// shard count serves bit-identical responses — sharding buys throughput,
+// never different answers.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +55,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/trace"
 )
 
 // serveOptions carries the parsed command line into run.
@@ -65,6 +83,11 @@ type serveOptions struct {
 	FaultRate  float64
 
 	CacheDir string
+
+	Coordinator   bool
+	Replicas      []string
+	ReplicaOf     string
+	ProbeInterval time.Duration
 }
 
 // defineFlags registers the binary's flags on fs, bound to the returned
@@ -94,6 +117,10 @@ func defineFlags(fs *flag.FlagSet) *serveOptions {
 	fs.IntVar(&o.Breaker, "breaker", 0, "trip a per-model circuit breaker after N consecutive failures; 0 disables (order-dependent, see DESIGN.md §9)")
 	fs.Float64Var(&o.FaultRate, "fault-rate", 0, "inject deterministic transport faults at this per-attempt probability (chaos testing)")
 	fs.StringVar(&o.CacheDir, "cache-dir", "", "persist temperature-0 completions and verdict memos in this directory; restarts answer repeated work at zero fee (DESIGN.md §11)")
+	fs.BoolVar(&o.Coordinator, "coordinator", false, "run as a sharding coordinator: route requests to the -replicas processes instead of verifying locally (DESIGN.md §13)")
+	fs.Var((*cliutil.URLList)(&o.Replicas), "replicas", "replica base URL for -coordinator mode; repeat (or comma-separate) for more")
+	fs.StringVar(&o.ReplicaOf, "replica-of", "", "coordinator base URL this replica registers with on startup and deregisters from when draining")
+	fs.DurationVar(&o.ProbeInterval, "probe-interval", 500*time.Millisecond, "coordinator health-probe cadence; a replica failing two consecutive probes is ejected and its keyspace rehashed")
 	return o
 }
 
@@ -116,6 +143,16 @@ func main() {
 // store handles (-cache-dir); call it after Shutdown, and before another
 // newServer may reopen the same directory (warm restart).
 func newServer(o *serveOptions) (*serve.Server, func() error, error) {
+	return newServerSink(o, nil)
+}
+
+// newServerSink is newServer with a span sink: when non-nil, sink receives
+// every micro-batch's trace spans right after the batch's run completes
+// (the System resets its tracer at each run start, so without a sink only
+// the last batch's spans survive). The sharded-identity harness uses it to
+// harvest each replica's full verification trace for cross-topology
+// comparison.
+func newServerSink(o *serveOptions, sink func([]trace.Span)) (*serve.Server, func() error, error) {
 	db, dbName, err := cliutil.LoadDatabase(o.CSVPaths, o.TableName)
 	if err != nil {
 		return nil, nil, err
@@ -166,6 +203,9 @@ func newServer(o *serveOptions) (*serve.Server, func() error, error) {
 		if err != nil {
 			return serve.RunStats{}, err
 		}
+		if sink != nil {
+			sink(tracer.Spans())
+		}
 		return serve.RunStats{Claims: rep.Claims, Dollars: rep.Dollars, Calls: rep.Calls}, nil
 	})
 	srv, err := serve.New(serve.Config{
@@ -188,7 +228,100 @@ func newServer(o *serveOptions) (*serve.Server, func() error, error) {
 	return srv, sys.Close, nil
 }
 
+// routeKeyFor builds the coordinator's shard key function: the claim/config
+// fingerprint. The config tag pins the parameters that determine verdicts
+// (seed, accuracy target, database name), so coordinators for different
+// serving configurations hash the same document differently — routing
+// identity follows verification identity.
+func routeKeyFor(o *serveOptions, dbName string) func(docID string, claims []serve.ClaimInput) []byte {
+	cfgTag := fmt.Sprintf("cedar-serve|seed=%d|target=%g|db=%s", o.Seed, o.Target, dbName)
+	return func(docID string, claims []serve.ClaimInput) []byte {
+		fields := make([]string, 0, 2+3*len(claims))
+		fields = append(fields, cfgTag, docID)
+		for _, c := range claims {
+			fields = append(fields, c.Sentence, c.Value, c.Context)
+		}
+		return shard.Fingerprint(fields...)
+	}
+}
+
+// newCoordinator builds the -coordinator serving stack without binding a
+// listener. The database is loaded only for its name: the coordinator must
+// derive the same default document ID the replicas do, so a request that
+// omits doc_id routes by the identity the replica will verify under.
+func newCoordinator(o *serveOptions) (*serve.Coordinator, error) {
+	if len(o.Replicas) == 0 {
+		return nil, fmt.Errorf("-coordinator requires at least one -replicas URL")
+	}
+	_, dbName, err := cliutil.LoadDatabase(o.CSVPaths, o.TableName)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewCoordinator(serve.CoordinatorConfig{
+		RouteKey:       routeKeyFor(o, dbName),
+		DocID:          dbName,
+		Replicas:       o.Replicas,
+		ProbeInterval:  o.ProbeInterval,
+		RequestTimeout: o.RequestTimeout,
+	})
+}
+
+// advertiseURL derives the URL a replica registers under from its -addr: a
+// bare ":port" advertises the loopback address (the sharded tier's intended
+// single-host deployment); anything else is used as given.
+func advertiseURL(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	if !strings.Contains(addr, "://") {
+		return "http://" + addr
+	}
+	return addr
+}
+
+// registerReplica announces self to the coordinator's ring.
+func registerReplica(coordinator, self string) error {
+	body, err := json.Marshal(serve.ReplicaRequest{URL: self})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimSuffix(coordinator, "/")+"/v1/replicas", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("registering with coordinator: %w", err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator answered %d to replica registration", resp.StatusCode)
+	}
+	return nil
+}
+
+// deregisterReplica withdraws self from the coordinator's ring — the first
+// step of a replica's graceful drain, so new requests rehash immediately
+// while admitted work finishes here.
+func deregisterReplica(coordinator, self string) error {
+	req, err := http.NewRequest(http.MethodDelete,
+		strings.TrimSuffix(coordinator, "/")+"/v1/replicas?url="+url.QueryEscape(self), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("deregistering from coordinator: %w", err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator answered %d to replica deregistration", resp.StatusCode)
+	}
+	return nil
+}
+
 func run(o *serveOptions) error {
+	if o.Coordinator {
+		return runCoordinator(o)
+	}
 	srv, closeSys, err := newServer(o)
 	if err != nil {
 		return err
@@ -204,15 +337,28 @@ func run(o *serveOptions) error {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("cedar-serve: listening on %s", o.Addr)
+	self := advertiseURL(o.Addr)
+	if o.ReplicaOf != "" {
+		if err := registerReplica(o.ReplicaOf, self); err != nil {
+			return err
+		}
+		log.Printf("cedar-serve: registered as %s with coordinator %s", self, o.ReplicaOf)
+	}
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	// Graceful drain, in order: stop admitting and verify everything
-	// already accepted, then close the listener so in-flight handlers
-	// deliver their responses before the process exits.
+	// Graceful drain, in order: leave the coordinator's ring so new work
+	// rehashes at once, stop admitting and verify everything already
+	// accepted, then close the listener so in-flight handlers deliver their
+	// responses before the process exits.
 	log.Printf("cedar-serve: draining (admitted requests finish, new ones get 503)")
+	if o.ReplicaOf != "" {
+		if err := deregisterReplica(o.ReplicaOf, self); err != nil {
+			log.Printf("cedar-serve: %v (draining anyway)", err)
+		}
+	}
 	dctx, cancel := context.WithTimeout(context.Background(), o.DrainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
@@ -222,5 +368,40 @@ func run(o *serveOptions) error {
 		return err
 	}
 	log.Printf("cedar-serve: drained cleanly")
+	return nil
+}
+
+// runCoordinator is run's -coordinator branch: same listener lifecycle and
+// drain choreography, with the sharding front end as the handler.
+func runCoordinator(o *serveOptions) error {
+	coord, err := newCoordinator(o)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              o.Addr,
+		Handler:           coord,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("cedar-serve: coordinating %d replica(s) on %s", len(o.Replicas), o.Addr)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("cedar-serve: coordinator draining")
+	dctx, cancel := context.WithTimeout(context.Background(), o.DrainTimeout)
+	defer cancel()
+	if err := coord.Shutdown(dctx); err != nil {
+		return err
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("cedar-serve: coordinator drained cleanly")
 	return nil
 }

@@ -26,6 +26,30 @@ func (c *CSVList) Set(v string) error {
 	return nil
 }
 
+// URLList collects repeated -replicas flags (replica base URLs for the
+// cedar-serve coordinator): -replicas http://r1:8080 -replicas http://r2:8080
+// Comma-separated values in one occurrence are split, so both
+// "-replicas a,b" and "-replicas a -replicas b" work.
+type URLList []string
+
+// String implements flag.Value.
+func (u *URLList) String() string { return strings.Join(*u, ",") }
+
+// Set implements flag.Value, appending the URLs of one occurrence.
+func (u *URLList) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(part), "/"))
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "://") {
+			return fmt.Errorf("replica URL %q must include a scheme (http://host:port)", part)
+		}
+		*u = append(*u, part)
+	}
+	return nil
+}
+
 // TableName derives a table name from a CSV path: the file base name with
 // the extension stripped.
 func TableName(path string) string {

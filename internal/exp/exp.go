@@ -81,6 +81,13 @@ type ResilienceOptions struct {
 	// the same position cedar.New wires it (DESIGN.md §11). Cached hits,
 	// in-memory or persisted, are never billed.
 	Store *store.Store
+	// ThrottleScale, when positive, wraps the simulated models in
+	// llm.Throttled so every attempt pays this fraction of its simulated
+	// latency as a real sleep. Wait-bound benchmarks (shardbench) use it to
+	// model provider-latency-bound serving: a replica's throughput is then
+	// capped by awaiting responses, not by CPU, which is what replica
+	// fan-out actually buys back.
+	ThrottleScale float64
 }
 
 // DefaultResilience is applied by NewStack; the cedar-bench and
@@ -108,6 +115,12 @@ func NewStackResilient(seed int64, ro ResilienceOptions) (*Stack, error) {
 			return nil, err
 		}
 		var c llm.Client = m
+		if ro.ThrottleScale > 0 {
+			// Innermost, directly over the model: every attempt — including
+			// ones a fault injector or retrier will discard — pays its wire
+			// time, matching how bench_test.go measures worker speedups.
+			c = &llm.Throttled{Client: c, Scale: ro.ThrottleScale, Tracer: ro.Tracer}
+		}
 		if ro.FaultRate > 0 {
 			c = &resilience.Faulty{
 				Client:  c,

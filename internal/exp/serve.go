@@ -37,23 +37,35 @@ func ServingResilience() ResilienceOptions {
 	}
 }
 
-// ServeBenchRow is one cell of the serving-mode throughput matrix.
+// ServeBenchRow is one cell of a serving-mode throughput table. The same
+// schema covers single-process servebench cells and the shardbench sweep's
+// per-replica and aggregate rows, so BENCH_shard.json needs no second row
+// type: Shards/Scope are zero for a single-process cell, and a shard row
+// carries the topology it was measured under. The JSON names are a pinned
+// artifact surface (see TestShardBenchJSONShape).
 type ServeBenchRow struct {
-	Workers   int
-	FaultRate float64
+	// Shards is the replica count of the topology this row was measured
+	// under; 0 for a single-process servebench cell.
+	Shards int `json:"shards,omitempty"`
+	// Scope names what the row covers: "aggregate" for whole-tier
+	// throughput, "replica-N" for one replica's share, empty for a
+	// single-process cell.
+	Scope     string  `json:"scope,omitempty"`
+	Workers   int     `json:"workers"`
+	FaultRate float64 `json:"fault_rate"`
 	// Requests served and claims verified.
-	Requests int
-	Claims   int
+	Requests int `json:"requests"`
+	Claims   int `json:"claims"`
 	// ReqPerSec is served throughput over the measurement wall time.
-	ReqPerSec float64
+	ReqPerSec float64 `json:"req_per_sec"`
 	// E2E are end-to-end request latency quantiles (admission to response,
 	// real wall clock) as reported by the server's own GET /v1/metrics.
-	E2E serve.LatencyQuantiles
+	E2E serve.LatencyQuantiles `json:"e2e_ms"`
 	// SimAttempt are the per-attempt simulated-latency quantiles of the
 	// slowest method observed, from the tracer rollups behind /v1/metrics.
-	SimAttempt serve.LatencyQuantiles
+	SimAttempt serve.LatencyQuantiles `json:"sim_attempt_ms"`
 	// Dollars is the total fee of the served traffic.
-	Dollars float64
+	Dollars float64 `json:"dollars"`
 }
 
 // ServeBenchResult is the serving-mode counterpart of the batch throughput

@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestShardBenchJSONShape pins the JSON schema of BENCH_shard.json: one row
+// type shared by aggregate, per-replica, and single-process servebench
+// cells. Plot scripts and EXPERIMENTS.md read these names; changing them is
+// an artifact-format break and must show up here.
+func TestShardBenchJSONShape(t *testing.T) {
+	res := &ShardBenchResult{
+		Clients:       2,
+		ThrottleScale: 0.5,
+		Rows: []ServeBenchRow{
+			{Shards: 2, Scope: "aggregate", Workers: 1, Requests: 2, Claims: 2,
+				ReqPerSec: 4, E2E: serve.LatencyQuantiles{N: 2, P50: 1, P95: 2, P99: 2}, Dollars: 0.25},
+			{Shards: 2, Scope: "replica-1", Workers: 1, Requests: 2, Claims: 2,
+				ReqPerSec: 4, E2E: serve.LatencyQuantiles{N: 2, P50: 1, P95: 2, P99: 2}, Dollars: 0.25},
+			// A single-process servebench cell rides the same schema with the
+			// topology fields omitted.
+			{Workers: 8, FaultRate: 0.2, Requests: 48, Claims: 96, ReqPerSec: 10},
+		},
+	}
+	got, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "clients": 2,
+  "throttle_scale": 0.5,
+  "rows": [
+    {
+      "shards": 2,
+      "scope": "aggregate",
+      "workers": 1,
+      "fault_rate": 0,
+      "requests": 2,
+      "claims": 2,
+      "req_per_sec": 4,
+      "e2e_ms": {
+        "n": 2,
+        "p50": 1,
+        "p95": 2,
+        "p99": 2
+      },
+      "sim_attempt_ms": {
+        "n": 0,
+        "p50": 0,
+        "p95": 0,
+        "p99": 0
+      },
+      "dollars": 0.25
+    },
+    {
+      "shards": 2,
+      "scope": "replica-1",
+      "workers": 1,
+      "fault_rate": 0,
+      "requests": 2,
+      "claims": 2,
+      "req_per_sec": 4,
+      "e2e_ms": {
+        "n": 2,
+        "p50": 1,
+        "p95": 2,
+        "p99": 2
+      },
+      "sim_attempt_ms": {
+        "n": 0,
+        "p50": 0,
+        "p95": 0,
+        "p99": 0
+      },
+      "dollars": 0.25
+    },
+    {
+      "workers": 8,
+      "fault_rate": 0.2,
+      "requests": 48,
+      "claims": 96,
+      "req_per_sec": 10,
+      "e2e_ms": {
+        "n": 0,
+        "p50": 0,
+        "p95": 0,
+        "p99": 0
+      },
+      "sim_attempt_ms": {
+        "n": 0,
+        "p50": 0,
+        "p95": 0,
+        "p99": 0
+      },
+      "dollars": 0
+    }
+  ]
+}`
+	if string(got) != want {
+		t.Errorf("BENCH_shard.json shape changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestShardBenchSweepSmall runs a shrunken sweep end to end — real replicas,
+// real coordinator, real HTTP load — and checks the accounting: every client
+// request lands on exactly one replica, the aggregate row sums its replicas,
+// and the fee totals are non-zero (replicas did real verification work).
+func TestShardBenchSweepSmall(t *testing.T) {
+	res, err := ShardBenchWith(17, ShardBenchConfig{
+		Clients:       32,
+		Shards:        []int{1, 2},
+		ThrottleScale: 0.0001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Render())
+	// One aggregate row plus one row per replica, per topology.
+	if len(res.Rows) != 2+3 {
+		t.Fatalf("got %d rows, want 5:\n%s", len(res.Rows), res.Render())
+	}
+	for _, shards := range []int{1, 2} {
+		agg := res.aggregate(shards)
+		if agg == nil {
+			t.Fatalf("no aggregate row for %d shards", shards)
+		}
+		if agg.Requests != 32 {
+			t.Errorf("%d shards: aggregate requests = %d, want 32", shards, agg.Requests)
+		}
+		if agg.Dollars <= 0 {
+			t.Errorf("%d shards: aggregate fee = %v, want > 0", shards, agg.Dollars)
+		}
+		sumReq, sumClaims, replicas := 0, 0, 0
+		for _, row := range res.Rows {
+			if row.Shards != shards || !strings.HasPrefix(row.Scope, "replica-") {
+				continue
+			}
+			replicas++
+			sumReq += row.Requests
+			sumClaims += row.Claims
+		}
+		if replicas != shards {
+			t.Errorf("%d shards: %d replica rows", shards, replicas)
+		}
+		// Zero lost, zero duplicated: replica-received requests sum exactly
+		// to the client count (health probes hit /healthz, not /v1/verify).
+		if sumReq != 32 {
+			t.Errorf("%d shards: replicas received %d requests in total, want 32", shards, sumReq)
+		}
+		if sumClaims != agg.Claims {
+			t.Errorf("%d shards: replica claims sum %d != aggregate %d", shards, sumClaims, agg.Claims)
+		}
+	}
+}

@@ -1,0 +1,577 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/shard"
+	"repro/internal/trace"
+)
+
+// CoordinatorConfig assembles a Coordinator.
+type CoordinatorConfig struct {
+	// RouteKey derives the shard key of one document: the claim/config
+	// fingerprint routed on the hash ring. Required. cmd/cedar-serve builds
+	// it from the serving config tag, the document ID, and the claim texts
+	// via shard.Fingerprint.
+	RouteKey func(docID string, claims []ClaimInput) []byte
+	// DocID is the default document ID for requests that omit doc_id. It
+	// must match the replicas' default (their database name) so the
+	// coordinator routes a defaulted request by the same identity the
+	// replica will verify under.
+	DocID string
+	// Replicas are the initial replica base URLs; more can join at runtime
+	// via POST /v1/replicas.
+	Replicas []string
+	// Client issues proxied requests and health probes. The default pools
+	// connections per replica so tens of thousands of concurrent clients
+	// multiplex over a bounded set of coordinator->replica sockets.
+	Client *http.Client
+	// ProbeInterval paces health sweeps (default 500ms); FailAfter and
+	// RecoverAfter are the replica breaker's trip and readmission streaks
+	// (default 2 each — see shard.Prober).
+	ProbeInterval time.Duration
+	FailAfter     int
+	RecoverAfter  int
+	// Attempts bounds the replicas one request may try, owner first
+	// (default 3).
+	Attempts int
+	// RequestTimeout bounds one proxied request end to end (default 60s;
+	// negative disables).
+	RequestTimeout time.Duration
+	// Schedule optionally names the replicas' verification schedule for
+	// GET /v1/status.
+	Schedule string
+	// Tracer, when non-nil, records shard_route/shard_failover spans for
+	// every proxied request. These are topology-dependent and dropped by
+	// trace.ReplayNormalize.
+	Tracer *trace.Tracer
+}
+
+// Coordinator is the sharding front end of the serving tier: an
+// http.Handler exposing the same /v1 verification surface as Server, but
+// answering by routing each request to the replica owning its claim/config
+// fingerprint on a consistent-hash ring. Replicas register and deregister
+// at runtime; a health prober ejects dead or draining replicas (rehashing
+// their keyspace onto ring successors) and readmits them when they recover.
+// Because verdicts are deterministic per (doc_id, claims) regardless of
+// which replica verifies them, routing affects throughput and fee
+// attribution only — never responses.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	client *http.Client
+	ring   *shard.Ring
+	prober *shard.Prober
+	proxy  *shard.Proxy
+	mux    *http.ServeMux
+	res    *metrics.Resilience
+	met    *serveMetrics
+	start  time.Time
+
+	routed       atomic.Int64
+	failovers    atomic.Int64
+	ejections    atomic.Int64
+	readmissions atomic.Int64
+
+	mu       sync.RWMutex
+	draining bool
+	// stopProber cancels the sweep loop; proberDone closes when it exits.
+	stopProber context.CancelFunc
+	proberDone chan struct{}
+}
+
+// NewCoordinator validates the configuration, registers the initial
+// replicas, starts the health-probe loop, and returns the coordinator.
+// Callers own its lifecycle: serve it as an http.Handler and call Shutdown
+// to stop probing and drain.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.RouteKey == nil {
+		return nil, fmt.Errorf("serve: CoordinatorConfig.RouteKey is required")
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			MaxConnsPerHost:     512,
+		}}
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		client:     client,
+		ring:       shard.NewRing(0),
+		res:        &metrics.Resilience{},
+		met:        newServeMetrics(),
+		start:      time.Now(),
+		proberDone: make(chan struct{}),
+	}
+	c.prober = &shard.Prober{
+		Probe:        c.probe,
+		Interval:     cfg.ProbeInterval,
+		FailAfter:    cfg.FailAfter,
+		RecoverAfter: cfg.RecoverAfter,
+		OnEject: func(node string) {
+			c.ring.Remove(node)
+			c.ejections.Add(1)
+		},
+		OnAdmit: func(node string) {
+			c.ring.Add(node)
+			c.readmissions.Add(1)
+		},
+		Metrics: c.res,
+	}
+	c.proxy = &shard.Proxy{
+		Ring:     c.ring,
+		BaseURL:  func(node string) string { return node },
+		Client:   client,
+		Attempts: cfg.Attempts,
+		OnFailure: func(node string) {
+			c.failovers.Add(1)
+			c.prober.ReportFailure(node)
+		},
+		OnSuccess: c.prober.ReportSuccess,
+	}
+	for _, url := range cfg.Replicas {
+		c.register(url)
+	}
+	c.mux = c.routes()
+	ctx, cancel := context.WithCancel(context.Background())
+	c.stopProber = cancel
+	go func() {
+		defer close(c.proberDone)
+		c.prober.Run(ctx)
+	}()
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// routes builds the coordinator's HTTP surface: the Server verification
+// routes (proxied) plus the replica-registration endpoint.
+func (c *Coordinator) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", c.handleVerify)
+	mux.HandleFunc("POST /v1/verify/batch", c.handleVerifyBatch)
+	mux.HandleFunc("GET /v1/status", c.handleStatus)
+	mux.HandleFunc("GET /v1/metrics", c.handleMetrics)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("POST /v1/replicas", c.handleReplicaJoin)
+	mux.HandleFunc("DELETE /v1/replicas", c.handleReplicaLeave)
+	return mux
+}
+
+// probe checks one replica's /healthz. A draining replica answers 503, so a
+// replica beginning graceful shutdown is ejected within FailAfter sweeps and
+// its keyspace rehashes while its in-flight work completes where it is.
+func (c *Coordinator) probe(ctx context.Context, node string) error {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// register admits one replica (idempotent).
+func (c *Coordinator) register(url string) {
+	c.prober.Track(url)
+	c.ring.Add(url)
+}
+
+// deregister withdraws one replica entirely — explicit leave, not ejection,
+// so it stops being probed for readmission.
+func (c *Coordinator) deregister(url string) {
+	c.prober.Forget(url)
+	c.ring.Remove(url)
+}
+
+// Owner reports which replica a shard key routes to. Test hook.
+func (c *Coordinator) Owner(key []byte) (string, bool) { return c.ring.Assign(key) }
+
+// Replicas snapshots the registered replicas and their health, sorted.
+func (c *Coordinator) Replicas() []ReplicaStatus {
+	tracked := c.prober.Tracked()
+	out := make([]ReplicaStatus, 0, len(tracked))
+	for _, url := range tracked {
+		out = append(out, ReplicaStatus{URL: url, Healthy: c.prober.IsHealthy(url)})
+	}
+	return out
+}
+
+// Draining reports whether the coordinator has stopped admitting work.
+func (c *Coordinator) Draining() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.draining
+}
+
+// Shutdown stops admitting requests (503 draining, like Server) and stops
+// the probe loop. The replicas drain themselves; the coordinator holds no
+// queued work of its own. Safe to call more than once.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.stopProber()
+	select {
+	case <-c.proberDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// requestContext applies the configured per-request deadline.
+func (c *Coordinator) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if c.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// decodeBody strictly decodes a JSON request body into dst, preserving the
+// raw bytes so a valid body can be relayed verbatim.
+func (c *Coordinator) decodeBody(w http.ResponseWriter, r *http.Request, dst any) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err == nil {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		err = dec.Decode(dst)
+	}
+	if err != nil {
+		c.met.inc(&c.met.badRequests)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decoding request body: %v", err), 0)
+		return nil, false
+	}
+	return body, true
+}
+
+// rejectDraining answers a request arriving after Shutdown.
+func (c *Coordinator) rejectDraining(w http.ResponseWriter) bool {
+	if !c.Draining() {
+		return false
+	}
+	c.met.inc(&c.met.rejectedDraining)
+	writeError(w, http.StatusServiceUnavailable, CodeDraining, "coordinator is draining", 0)
+	return true
+}
+
+// routeKey derives one document's shard key, applying the doc_id default the
+// replica will apply, so the coordinator and replica agree on the identity.
+func (c *Coordinator) routeKey(docID string, claims []ClaimInput) ([]byte, string) {
+	if docID == "" {
+		docID = c.cfg.DocID
+	}
+	return c.cfg.RouteKey(docID, claims), docID
+}
+
+// traceRoute records the routing spans of one proxied exchange.
+func (c *Coordinator) traceRoute(docID string, res shard.Result) {
+	t := c.cfg.Tracer
+	if !t.Enabled() {
+		return
+	}
+	key := trace.Key{Doc: docID, Method: "route"}
+	if res.Hops > 0 {
+		t.Record(trace.Span{Key: key, Kind: trace.KindShardFailover,
+			Detail: fmt.Sprintf("%d hop(s)", res.Hops)})
+	}
+	outcome := trace.OutcomeOK
+	if res.Status != http.StatusOK {
+		outcome = trace.OutcomeError
+	}
+	t.Record(trace.Span{Key: key, Kind: trace.KindShardRoute, Detail: res.Node, Outcome: outcome})
+}
+
+// countRelay books the coordinator's view of a relayed replica response.
+func (c *Coordinator) countRelay(status int) {
+	switch status {
+	case http.StatusTooManyRequests:
+		c.met.inc(&c.met.shedOverload)
+	case http.StatusServiceUnavailable:
+		c.met.inc(&c.met.rejectedDraining)
+	case http.StatusGatewayTimeout:
+		c.met.inc(&c.met.deadlineExpired)
+	case http.StatusBadRequest:
+		c.met.inc(&c.met.badRequests)
+	case http.StatusInternalServerError:
+		c.met.inc(&c.met.internalErrors)
+	}
+}
+
+// renderProxyError maps a proxy failure (no replica answered at all) onto
+// the error envelope: an empty ring is a drain-equivalent 503, anything else
+// a 500 naming the last replica error.
+func (c *Coordinator) renderProxyError(w http.ResponseWriter, err error) {
+	if err == shard.ErrNoReplicas {
+		c.met.inc(&c.met.rejectedDraining)
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "no live replicas", 0)
+		return
+	}
+	c.met.inc(&c.met.internalErrors)
+	writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
+}
+
+// relay writes a replica's response verbatim.
+func relay(w http.ResponseWriter, res shard.Result) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.Status)
+	_, _ = w.Write(res.Body)
+}
+
+// handleVerify proxies POST /v1/verify to the replica owning the request's
+// shard key, failing over along the ring when the owner is dead or draining.
+func (c *Coordinator) handleVerify(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if c.rejectDraining(w) {
+		return
+	}
+	var req VerifyRequest
+	body, ok := c.decodeBody(w, r, &req)
+	if !ok {
+		return
+	}
+	ctx, cancel := c.requestContext(r)
+	defer cancel()
+	key, docID := c.routeKey(req.DocID, req.Claims)
+	res, err := c.proxy.Do(ctx, key, "/v1/verify", body)
+	if err != nil {
+		c.renderProxyError(w, err)
+		return
+	}
+	c.routed.Add(1)
+	c.traceRoute(docID, res)
+	c.countRelay(res.Status)
+	if res.Status == http.StatusOK {
+		c.met.recordRequest(time.Since(started))
+	}
+	relay(w, res)
+}
+
+// handleVerifyBatch proxies POST /v1/verify/batch: documents are grouped by
+// owning replica, the sub-batches fan out concurrently, and the responses
+// merge back in the caller's document order with summed batch stats. Every
+// document still rides a replica micro-batch, so fee attribution follows the
+// replica that did the work.
+func (c *Coordinator) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if c.rejectDraining(w) {
+		return
+	}
+	var req BatchRequest
+	if _, ok := c.decodeBody(w, r, &req); !ok {
+		return
+	}
+	if len(req.Documents) == 0 {
+		c.met.inc(&c.met.badRequests)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "batch request has no documents", 0)
+		return
+	}
+	ctx, cancel := c.requestContext(r)
+	defer cancel()
+
+	// Partition by owner. Assignment is read once per document; a membership
+	// change mid-request is handled by the proxy's failover, not re-grouped.
+	type group struct {
+		idxs  []int
+		docs  []DocumentInput
+		key   []byte
+		docID string
+	}
+	groups := make(map[string]*group)
+	order := make([]string, 0, 4) // deterministic fan-out order for tests
+	for i, in := range req.Documents {
+		key, docID := c.routeKey(in.DocID, in.Claims)
+		owner, ok := c.ring.Assign(key)
+		if !ok {
+			c.renderProxyError(w, shard.ErrNoReplicas)
+			return
+		}
+		g := groups[owner]
+		if g == nil {
+			g = &group{key: key, docID: docID}
+			groups[owner] = g
+			order = append(order, owner)
+		}
+		g.idxs = append(g.idxs, i)
+		g.docs = append(g.docs, in)
+	}
+
+	type outcome struct {
+		firstIdx int
+		res      shard.Result
+		err      error
+		parsed   BatchResponse
+	}
+	outcomes := make([]outcome, len(order))
+	var wg sync.WaitGroup
+	for gi, owner := range order {
+		g := groups[owner]
+		wg.Add(1)
+		go func(gi int, g *group) {
+			defer wg.Done()
+			out := outcome{firstIdx: g.idxs[0]}
+			body, err := json.Marshal(BatchRequest{Documents: g.docs})
+			if err == nil {
+				out.res, err = c.proxy.Do(ctx, g.key, "/v1/verify/batch", body)
+			}
+			if err == nil && out.res.Status == http.StatusOK {
+				err = json.Unmarshal(out.res.Body, &out.parsed)
+			}
+			out.err = err
+			outcomes[gi] = out
+		}(gi, g)
+	}
+	wg.Wait()
+
+	// Any sub-batch failure fails the request; report the failure covering
+	// the earliest document so the error is stable under re-grouping.
+	failed := -1
+	for gi := range outcomes {
+		o := &outcomes[gi]
+		if o.err == nil && o.res.Status == http.StatusOK {
+			continue
+		}
+		if failed < 0 || o.firstIdx < outcomes[failed].firstIdx {
+			failed = gi
+		}
+	}
+	if failed >= 0 {
+		o := outcomes[failed]
+		if o.err != nil {
+			c.renderProxyError(w, o.err)
+			return
+		}
+		c.routed.Add(1)
+		c.traceRoute(groups[order[failed]].docID, o.res)
+		c.countRelay(o.res.Status)
+		relay(w, o.res)
+		return
+	}
+
+	merged := BatchResponse{Documents: make([]DocumentResult, len(req.Documents))}
+	for gi, owner := range order {
+		o := outcomes[gi]
+		g := groups[owner]
+		c.routed.Add(1)
+		c.traceRoute(g.docID, o.res)
+		for j, idx := range g.idxs {
+			if j < len(o.parsed.Documents) {
+				merged.Documents[idx] = o.parsed.Documents[j]
+			}
+		}
+		merged.Batch.Docs += o.parsed.Batch.Docs
+		merged.Batch.Claims += o.parsed.Batch.Claims
+		merged.Batch.Dollars += o.parsed.Batch.Dollars
+		merged.Batch.Calls += o.parsed.Batch.Calls
+	}
+	c.met.recordRequest(time.Since(started))
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleStatus answers GET /v1/status with the coordinator role and the
+// replica roster.
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	state := "serving"
+	if c.Draining() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, StatusResponse{
+		State:    state,
+		Schedule: c.cfg.Schedule,
+		UptimeMS: time.Since(c.start).Milliseconds(),
+		Role:     "coordinator",
+		Replicas: c.Replicas(),
+	})
+}
+
+// handleMetrics answers GET /v1/metrics: the coordinator's own request
+// counters plus the shard section and the replica-breaker counters.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body := c.met.snapshot()
+	rs := c.res.Snapshot()
+	body.Resilience = &ResilienceCounters{
+		BreakerTrips:  rs.BreakerTrips,
+		BreakerSheds:  rs.BreakerSheds,
+		BreakerProbes: rs.BreakerProbes,
+	}
+	replicas := c.Replicas()
+	healthy := 0
+	for _, rep := range replicas {
+		if rep.Healthy {
+			healthy++
+		}
+	}
+	body.Shard = &ShardCounters{
+		Replicas:     len(replicas),
+		Healthy:      healthy,
+		Routed:       c.routed.Load(),
+		Failovers:    c.failovers.Load(),
+		Ejections:    c.ejections.Load(),
+		Readmissions: c.readmissions.Load(),
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleHealthz answers 200 while at least one replica is live, 503 while
+// draining or with an empty ring, so an upstream balancer can fail away from
+// a coordinator that cannot serve.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if c.Draining() || c.ring.Len() == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "unavailable")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReplicaJoin admits a replica announced via POST /v1/replicas.
+func (c *Coordinator) handleReplicaJoin(w http.ResponseWriter, r *http.Request) {
+	var req ReplicaRequest
+	if _, ok := c.decodeBody(w, r, &req); !ok {
+		return
+	}
+	if req.URL == "" {
+		c.met.inc(&c.met.badRequests)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "replica url is required", 0)
+		return
+	}
+	c.register(req.URL)
+	writeJSON(w, http.StatusOK, c.Replicas())
+}
+
+// handleReplicaLeave withdraws a replica via DELETE /v1/replicas?url=...;
+// replicas call it as the first step of graceful shutdown so new work
+// rehashes immediately while they drain what they already admitted.
+func (c *Coordinator) handleReplicaLeave(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		c.met.inc(&c.met.badRequests)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "replica url query parameter is required", 0)
+		return
+	}
+	c.deregister(url)
+	writeJSON(w, http.StatusOK, c.Replicas())
+}

@@ -108,8 +108,26 @@ type MetricsResponse struct {
 	// Present only when the server was built with a tracer.
 	Methods []MethodMetrics `json:"methods,omitempty"`
 	// Resilience snapshots the middleware counters (retries, faults,
-	// hedges, breaker activity); present when the server exposes them.
+	// hedges, breaker activity); present when the server exposes them. On a
+	// coordinator, breaker_trips/breaker_probes count replica ejections and
+	// recovery probes of the replica-level breaker.
 	Resilience *ResilienceCounters `json:"resilience,omitempty"`
+	// Shard describes the routing tier; present only on coordinators.
+	Shard *ShardCounters `json:"shard,omitempty"`
+}
+
+// ShardCounters is the coordinator's routing rollup.
+type ShardCounters struct {
+	// Replicas is the registered count; Healthy how many are in the ring.
+	Replicas int `json:"replicas"`
+	Healthy  int `json:"healthy"`
+	// Routed counts proxied requests; Failovers counts hops off a dead or
+	// draining replica onto a ring successor.
+	Routed    int64 `json:"routed"`
+	Failovers int64 `json:"failovers"`
+	// Ejections and Readmissions count replica-breaker state changes.
+	Ejections    int64 `json:"ejections"`
+	Readmissions int64 `json:"readmissions"`
 }
 
 // RequestCounters tallies admission and completion outcomes.

@@ -112,6 +112,27 @@ type StatusResponse struct {
 	Schedule string `json:"schedule,omitempty"`
 	// UptimeMS is wall time since the server started.
 	UptimeMS int64 `json:"uptime_ms"`
+	// Role distinguishes the serving tiers: "" or "replica" for a plain
+	// server, "coordinator" for the sharding front end.
+	Role string `json:"role,omitempty"`
+	// Replicas lists the coordinator's registered replicas and their health;
+	// present only on coordinators.
+	Replicas []ReplicaStatus `json:"replicas,omitempty"`
+}
+
+// ReplicaStatus is one registered replica as seen by the coordinator.
+type ReplicaStatus struct {
+	// URL is the replica's base URL — also its name on the hash ring.
+	URL string `json:"url"`
+	// Healthy reports whether the replica is currently in the ring; an
+	// ejected replica stays registered and is probed for readmission.
+	Healthy bool `json:"healthy"`
+}
+
+// ReplicaRequest is the body of POST /v1/replicas: a replica announcing
+// itself to (or, with the DELETE method, withdrawing from) a coordinator.
+type ReplicaRequest struct {
+	URL string `json:"url"`
 }
 
 // ErrorBody is the uniform error envelope: every non-2xx response carries

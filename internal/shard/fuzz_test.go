@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRingAssign fuzzes the consistent-hash ring's three routing
+// guarantees over arbitrary keys and membership shapes:
+//
+//   - deterministic: rings built in different membership orders assign the
+//     key identically;
+//   - total: every key maps to exactly one live replica, and never to a
+//     removed one;
+//   - minimal movement: removing a replica moves only keys it owned, and
+//     re-adding it restores the original assignment exactly.
+func FuzzRingAssign(f *testing.F) {
+	f.Add([]byte("doc-1|claim"), uint8(4), uint8(1))
+	f.Add([]byte{}, uint8(1), uint8(0))
+	f.Add([]byte("\x00\xff fingerprint bytes"), uint8(9), uint8(7))
+	f.Add([]byte("same"), uint8(2), uint8(3))
+	f.Fuzz(func(t *testing.T, key []byte, nNodes, victimIdx uint8) {
+		n := int(nNodes)%12 + 1 // 1..12 replicas
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("http://r%d", i)
+		}
+		fwd := NewRing(16)
+		rev := NewRing(16)
+		for i := 0; i < n; i++ {
+			fwd.Add(nodes[i])
+			rev.Add(nodes[n-1-i])
+		}
+
+		owner, ok := fwd.Assign(key)
+		if !ok {
+			t.Fatalf("populated ring (%d nodes) failed to assign", n)
+		}
+		member := false
+		for _, node := range nodes {
+			if node == owner {
+				member = true
+			}
+		}
+		if !member {
+			t.Fatalf("assigned %q, not a member of %v", owner, nodes)
+		}
+		if revOwner, _ := rev.Assign(key); revOwner != owner {
+			t.Fatalf("insertion order changed assignment: %q vs %q", owner, revOwner)
+		}
+
+		victim := nodes[int(victimIdx)%n]
+		fwd.Remove(victim)
+		if n > 1 {
+			after, ok := fwd.Assign(key)
+			if !ok {
+				t.Fatal("assignment lost after removing one of several replicas")
+			}
+			if after == victim {
+				t.Fatalf("key still assigned to removed replica %q", victim)
+			}
+			// Minimal movement: a key not owned by the victim must not move.
+			if owner != victim && after != owner {
+				t.Fatalf("key moved %q -> %q though removed replica was %q", owner, after, victim)
+			}
+		} else if _, ok := fwd.Assign(key); ok {
+			t.Fatal("empty ring still assigning")
+		}
+		fwd.Add(victim)
+		if restored, _ := fwd.Assign(key); restored != owner {
+			t.Fatalf("re-adding %q did not restore assignment: %q vs %q", victim, restored, owner)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// flakyProbe is a scriptable probe: per-node error queues consumed in order,
+// empty queue meaning healthy.
+type flakyProbe struct {
+	mu   sync.Mutex
+	errs map[string][]error
+}
+
+func (f *flakyProbe) fail(node string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.errs == nil {
+		f.errs = make(map[string][]error)
+	}
+	for i := 0; i < n; i++ {
+		f.errs[node] = append(f.errs[node], errors.New("connection refused"))
+	}
+}
+
+func (f *flakyProbe) probe(_ context.Context, node string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	q := f.errs[node]
+	if len(q) == 0 {
+		return nil
+	}
+	f.errs[node] = q[1:]
+	return q[0]
+}
+
+// The prober ejects after FailAfter consecutive failures, readmits after
+// RecoverAfter consecutive probe successes, and keeps ring membership in
+// sync through the OnEject/OnAdmit hooks — booking ejections as breaker
+// trips and recovery probes as breaker probes.
+func TestProberEjectAndReadmit(t *testing.T) {
+	fp := &flakyProbe{}
+	ring := ringOf(16, "a", "b")
+	res := &metrics.Resilience{}
+	p := &Prober{
+		Probe: fp.probe, FailAfter: 2, RecoverAfter: 2,
+		OnEject: func(n string) { ring.Remove(n) },
+		OnAdmit: func(n string) { ring.Add(n) },
+		Metrics: res,
+	}
+	p.Track("a")
+	p.Track("b")
+	ctx := context.Background()
+
+	fp.fail("b", 2)
+	p.Sweep(ctx) // b: failure 1 of 2 — still healthy
+	if !p.IsHealthy("b") || !ring.Has("b") {
+		t.Fatal("one failure ejected b; want FailAfter=2")
+	}
+	p.Sweep(ctx) // b: failure 2 — ejected
+	if p.IsHealthy("b") || ring.Has("b") {
+		t.Fatal("b not ejected after FailAfter consecutive failures")
+	}
+	if got := p.Healthy(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("healthy = %v, want [a]", got)
+	}
+	if res.BreakerTrips.Load() != 1 {
+		t.Errorf("breaker trips = %d, want 1", res.BreakerTrips.Load())
+	}
+
+	p.Sweep(ctx) // recovery probe 1 of 2
+	if p.IsHealthy("b") {
+		t.Fatal("one good probe readmitted b; want RecoverAfter=2")
+	}
+	p.Sweep(ctx) // recovery probe 2 — readmitted
+	if !p.IsHealthy("b") || !ring.Has("b") {
+		t.Fatal("b not readmitted after RecoverAfter good probes")
+	}
+	if res.BreakerProbes.Load() != 2 {
+		t.Errorf("breaker probes = %d, want 2", res.BreakerProbes.Load())
+	}
+}
+
+// A failure while ejected restarts the recovery streak, and traffic-fed
+// failures (ReportFailure) trip the breaker between sweeps.
+func TestProberTrafficFedFailures(t *testing.T) {
+	p := &Prober{Probe: func(context.Context, string) error { return nil }, FailAfter: 3, RecoverAfter: 2}
+	p.Track("a")
+	p.ReportFailure("a")
+	p.ReportFailure("a")
+	p.ReportSuccess("a") // success clears the streak
+	p.ReportFailure("a")
+	p.ReportFailure("a")
+	if !p.IsHealthy("a") {
+		t.Fatal("a ejected though no 3 consecutive failures accumulated")
+	}
+	p.ReportFailure("a")
+	if p.IsHealthy("a") {
+		t.Fatal("a not ejected after 3 consecutive failures")
+	}
+	p.ReportSuccess("a")
+	p.ReportFailure("a") // failure while ejected restarts recovery
+	p.ReportSuccess("a")
+	if p.IsHealthy("a") {
+		t.Fatal("a readmitted though the recovery streak was broken")
+	}
+	p.ReportSuccess("a")
+	if !p.IsHealthy("a") {
+		t.Fatal("a not readmitted after RecoverAfter consecutive successes")
+	}
+}
+
+// Forget deregisters entirely: the node stops being probed or readmitted.
+func TestProberForget(t *testing.T) {
+	p := &Prober{Probe: func(context.Context, string) error { return nil }}
+	p.Track("a")
+	p.Track("b")
+	p.Forget("b")
+	if got := p.Tracked(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("tracked = %v, want [a]", got)
+	}
+	p.ReportSuccess("b") // no-op, must not resurrect
+	if p.IsHealthy("b") {
+		t.Fatal("forgotten replica reported healthy")
+	}
+}
+
+// TestProberStressConcurrentReports races traffic-fed outcomes, sweeps, and
+// membership changes across 32 goroutines; run under -race by `make shard`.
+func TestProberStressConcurrentReports(t *testing.T) {
+	fp := &flakyProbe{}
+	ring := ringOf(16, nodeNames(4)...)
+	p := &Prober{
+		Probe: fp.probe, FailAfter: 2, RecoverAfter: 1,
+		OnEject: func(n string) { ring.Remove(n) },
+		OnAdmit: func(n string) { ring.Add(n) },
+		Metrics: &metrics.Resilience{},
+	}
+	nodes := nodeNames(4)
+	for _, n := range nodes {
+		p.Track(n)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			node := nodes[g%len(nodes)]
+			for i := 0; i < 200; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					p.ReportFailure(node)
+				case 1:
+					p.ReportSuccess(node)
+				case 2:
+					p.Sweep(context.Background())
+				default:
+					p.IsHealthy(node)
+					p.Healthy()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// All probes succeed at rest, so two sweeps readmit everything.
+	p.Sweep(context.Background())
+	p.Sweep(context.Background())
+	if got := p.Healthy(); !reflect.DeepEqual(got, nodes) {
+		t.Fatalf("healthy after settle = %v, want %v", got, nodes)
+	}
+	for _, n := range nodes {
+		if !ring.Has(n) {
+			t.Fatalf("ring missing %s after settle", n)
+		}
+	}
+	_ = fmt.Sprintf("%s", ring) // exercise String under race too
+}

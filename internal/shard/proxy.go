@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxProxyResponseBytes bounds one replica response the proxy buffers;
+// matches the serve layer's request-body cap.
+const maxProxyResponseBytes = 8 << 20
+
+// ErrNoReplicas is returned when the ring has no live members to route to.
+var ErrNoReplicas = errors.New("shard: no live replicas")
+
+// Result is one proxied exchange: which replica answered (after zero or
+// more failovers), with what status and body.
+type Result struct {
+	// Node is the replica that produced the response; Hops counts the
+	// replicas tried before it answered (0 = the key's owner answered).
+	Node string
+	Hops int
+	// Status and Body are the replica's HTTP response, relayed verbatim.
+	Status int
+	Body   []byte
+}
+
+// Proxy routes one request body to the replica owning its shard key,
+// failing over along the ring's deterministic successor order when a
+// replica is unreachable or draining. It speaks bytes, not wire structs, so
+// the serve layer's JSON surface passes through untouched — what a replica
+// answered is exactly what the client sees.
+type Proxy struct {
+	// Ring assigns keys to replica names. Required.
+	Ring *Ring
+	// BaseURL resolves a replica name to its base URL ("http://host:port").
+	// Required; the coordinator uses the URL itself as the name, making
+	// this the identity function.
+	BaseURL func(node string) string
+	// Client issues the proxied requests (default http.DefaultClient; the
+	// coordinator installs one with a pooled transport).
+	Client *http.Client
+	// Attempts bounds how many distinct replicas one request may try
+	// (default 3, capped by live membership). The first is the owner.
+	Attempts int
+	// OnFailure and OnSuccess report per-replica transport outcomes — the
+	// coordinator wires them into the Prober so live traffic feeds the
+	// replica breaker. A drain rejection (503 from a draining replica)
+	// counts as a failure: the replica asked for traffic to move.
+	OnFailure func(node string)
+	OnSuccess func(node string)
+}
+
+// retriable reports whether a replica response should move the request to
+// the next replica instead of being relayed. Only 503 qualifies: the serve
+// layer answers it exactly when draining (or, at the coordinator tier, when
+// no replica is live), and the request was explicitly not admitted, so
+// re-routing cannot duplicate work. Every other status — including 429
+// shed and 5xx backend errors — is an answer about this request and is
+// relayed to the caller.
+func retriable(status int) bool { return status == http.StatusServiceUnavailable }
+
+// Do routes body to the owner of key, walking the failover order on
+// transport errors and drain rejections. It returns the first relayable
+// response, or an error when every eligible replica failed.
+func (p *Proxy) Do(ctx context.Context, key []byte, path string, body []byte) (Result, error) {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 3
+	}
+	nodes := p.Ring.AssignN(key, attempts)
+	if len(nodes) == 0 {
+		return Result{}, ErrNoReplicas
+	}
+	client := p.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var lastErr error
+	for hop, node := range nodes {
+		res, err := p.forward(ctx, client, node, path, body)
+		if err != nil {
+			// Transport failure: the replica never answered. Feed the
+			// breaker and try the next successor — the request was not
+			// processed, so moving it cannot lose or duplicate claims.
+			if p.OnFailure != nil {
+				p.OnFailure(node)
+			}
+			lastErr = fmt.Errorf("replica %s: %w", node, err)
+			if ctx.Err() != nil {
+				return Result{}, lastErr
+			}
+			continue
+		}
+		if retriable(res.Status) && hop < len(nodes)-1 {
+			// Drain rejection: the replica refused admission. Rehash to the
+			// next successor; its in-flight work finishes where it is.
+			if p.OnFailure != nil {
+				p.OnFailure(node)
+			}
+			lastErr = fmt.Errorf("replica %s: draining (503)", node)
+			continue
+		}
+		if p.OnSuccess != nil {
+			p.OnSuccess(node)
+		}
+		res.Hops = hop
+		return res, nil
+	}
+	return Result{}, fmt.Errorf("shard: all %d replica(s) failed, last: %w", len(nodes), lastErr)
+}
+
+// forward issues one POST to one replica.
+func (p *Proxy) forward(ctx context.Context, client *http.Client, node, path string, body []byte) (Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.BaseURL(node)+path, bytes.NewReader(body))
+	if err != nil {
+		return Result{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return Result{}, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyResponseBytes))
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Node: node, Status: resp.StatusCode, Body: b}, nil
+}

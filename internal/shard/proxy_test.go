@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// replicaStub is a minimal replica endpoint recording what it served.
+type replicaStub struct {
+	name string
+	ts   *httptest.Server
+	mu   sync.Mutex
+	hits int
+	// status overrides the response code (0 = 200 echo).
+	status int
+}
+
+func newReplicaStub(t *testing.T, name string) *replicaStub {
+	t.Helper()
+	r := &replicaStub{name: name}
+	r.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.mu.Lock()
+		r.hits++
+		status := r.status
+		r.mu.Unlock()
+		body, _ := io.ReadAll(req.Body)
+		if status != 0 {
+			w.WriteHeader(status)
+			return
+		}
+		w.Write([]byte(r.name + ":" + string(body)))
+	}))
+	t.Cleanup(r.ts.Close)
+	return r
+}
+
+func (r *replicaStub) setStatus(code int) {
+	r.mu.Lock()
+	r.status = code
+	r.mu.Unlock()
+}
+
+func (r *replicaStub) served() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits
+}
+
+func proxyOver(stubs ...*replicaStub) (*Proxy, *Ring) {
+	ring := NewRing(16)
+	urls := make(map[string]string, len(stubs))
+	for _, s := range stubs {
+		ring.Add(s.name)
+		urls[s.name] = s.ts.URL
+	}
+	return &Proxy{
+		Ring:    ring,
+		BaseURL: func(n string) string { return urls[n] },
+		Client:  http.DefaultClient,
+	}, ring
+}
+
+// The proxy relays the owner's response verbatim; non-503 statuses,
+// including errors, are answers and never re-routed.
+func TestProxyRoutesToOwner(t *testing.T) {
+	a, b := newReplicaStub(t, "a"), newReplicaStub(t, "b")
+	p, ring := proxyOver(a, b)
+	key := Fingerprint("cfg", "doc-7")
+	owner, _ := ring.Assign(key)
+	res, err := p.Do(context.Background(), key, "/v1/verify", []byte(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != owner || res.Hops != 0 || res.Status != 200 {
+		t.Fatalf("result = %+v, want owner %q at hop 0", res, owner)
+	}
+	if got := string(res.Body); got != owner+`:{"x":1}` {
+		t.Fatalf("body = %q, not relayed verbatim", got)
+	}
+
+	// A 429 from the owner is an answer, not a failover trigger.
+	ownerStub := a
+	if owner == "b" {
+		ownerStub = b
+	}
+	ownerStub.setStatus(http.StatusTooManyRequests)
+	res, err = p.Do(context.Background(), key, "/v1/verify", nil)
+	if err != nil || res.Status != http.StatusTooManyRequests || res.Node != owner {
+		t.Fatalf("shed relay = %+v err=%v, want 429 from owner", res, err)
+	}
+}
+
+// A dead owner fails over to the next distinct replica in ring order, and
+// the failure is reported so the prober can eject it.
+func TestProxyFailoverOnDeadOwner(t *testing.T) {
+	a, b, c := newReplicaStub(t, "a"), newReplicaStub(t, "b"), newReplicaStub(t, "c")
+	p, ring := proxyOver(a, b, c)
+	var failed []string
+	p.OnFailure = func(n string) { failed = append(failed, n) }
+	key := Fingerprint("cfg", "doc-1")
+	order := ring.AssignN(key, 3)
+	stubs := map[string]*replicaStub{"a": a, "b": b, "c": c}
+	stubs[order[0]].ts.Close() // kill the owner
+
+	res, err := p.Do(context.Background(), key, "/v1/verify", []byte("req"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != order[1] || res.Hops != 1 {
+		t.Fatalf("failover landed on %q hop %d, want successor %q hop 1", res.Node, res.Hops, order[1])
+	}
+	if len(failed) != 1 || failed[0] != order[0] {
+		t.Fatalf("failures reported = %v, want the dead owner %q", failed, order[0])
+	}
+	if !strings.HasPrefix(string(res.Body), order[1]+":") {
+		t.Fatalf("body %q not from successor", res.Body)
+	}
+}
+
+// A draining owner (503) moves the request instead of surfacing the
+// rejection — the drain-aware rebalance path — but when every replica is
+// draining the 503 is relayed rather than looping.
+func TestProxyDrainRehash(t *testing.T) {
+	a, b := newReplicaStub(t, "a"), newReplicaStub(t, "b")
+	p, ring := proxyOver(a, b)
+	key := Fingerprint("cfg", "doc-2")
+	order := ring.AssignN(key, 2)
+	stubs := map[string]*replicaStub{"a": a, "b": b}
+	stubs[order[0]].setStatus(http.StatusServiceUnavailable)
+
+	res, err := p.Do(context.Background(), key, "/v1/verify", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != order[1] || res.Status != 200 {
+		t.Fatalf("drain rehash = %+v, want 200 from %q", res, order[1])
+	}
+
+	stubs[order[1]].setStatus(http.StatusServiceUnavailable)
+	res, err = p.Do(context.Background(), key, "/v1/verify", nil)
+	if err != nil || res.Status != http.StatusServiceUnavailable {
+		t.Fatalf("all-draining = %+v err=%v, want relayed 503", res, err)
+	}
+}
+
+// With no live replicas the proxy reports ErrNoReplicas; with all replicas
+// dead it returns the last transport error.
+func TestProxyExhaustion(t *testing.T) {
+	p := &Proxy{Ring: NewRing(8), BaseURL: func(string) string { return "" }}
+	if _, err := p.Do(context.Background(), []byte("k"), "/x", nil); err != ErrNoReplicas {
+		t.Fatalf("empty ring error = %v, want ErrNoReplicas", err)
+	}
+	a := newReplicaStub(t, "a")
+	p2, _ := proxyOver(a)
+	a.ts.Close()
+	if _, err := p2.Do(context.Background(), Fingerprint("k"), "/x", nil); err == nil {
+		t.Fatal("all replicas dead, want an error")
+	}
+}

@@ -99,6 +99,16 @@ const (
 	// "verified", "implausible", or a transport-error class. Recorded by
 	// verify.AttemptWith.
 	KindOutcome = "outcome"
+	// Shard-routing events recorded by the serve coordinator (DESIGN.md §13):
+	// KindShardRoute says which replica answered a routed request (Detail
+	// carries the replica, Outcome ok/error mirrors the relay), KindShardFailover
+	// marks one hop off a dead or draining replica (Detail carries the replica
+	// that was skipped). Both depend on topology and replica health — the same
+	// workload routed over a different shard count produces different spans —
+	// so ReplayNormalize drops them: verification spans, not routing spans,
+	// are the cross-topology identity surface.
+	KindShardRoute    = "shard_route"
+	KindShardFailover = "shard_failover"
 )
 
 // Outcome values for KindAttempt and KindOutcome spans. Transport-error
@@ -258,6 +268,9 @@ func (t *Tracer) Summary() Summary {
 //   - persist_hit spans become attempt spans with outcome "ok" (they carry a
 //     full replica of the attempt they replay);
 //   - cache_hit, cache_wait, and memo_mismatch spans are dropped;
+//   - shard_route and shard_failover spans are dropped — routing is a
+//     property of the serving topology, not of the verification work, and the
+//     sharded-identity harness compares traces across shard counts;
 //   - per-key Seq is renumbered over what remains, since dropped and
 //     rewritten spans consumed sequence slots.
 //
@@ -270,7 +283,7 @@ func ReplayNormalize(spans []Span) []Span {
 	seq := make(map[Key]int, 64)
 	for _, s := range spans {
 		switch s.Kind {
-		case KindCacheHit, KindCacheWait, KindMemoMismatch:
+		case KindCacheHit, KindCacheWait, KindMemoMismatch, KindShardRoute, KindShardFailover:
 			continue
 		case KindPersistHit:
 			s.Kind = KindAttempt
