@@ -4,15 +4,17 @@
 # golden-trace determinism gate, the persistent-store gate (crash-recovery
 # sweep + cross-process determinism), the SQL differential gate (vectorized
 # executor vs row oracle + plan-cache stress), the sharded-serving gate
-# (multi-replica determinism + failover), and a short fuzz smoke over the
-# SQL parser/executor, the store's segment decoder, and the shard ring.
+# (multi-replica determinism + failover), the streaming gate (stream-vs-batch
+# determinism, review queue, failover duplicate-work regression), and a
+# short fuzz smoke over the SQL parser/executor, the store's segment
+# decoder, and the shard ring.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build vet test race chaos trace store sqldiff shard fuzz-smoke doclint bench
+.PHONY: check build vet test race chaos trace store sqldiff shard stream fuzz-smoke doclint bench
 
-check: build vet race chaos trace store sqldiff shard fuzz-smoke doclint
+check: build vet race chaos trace store sqldiff shard stream fuzz-smoke doclint
 
 build:
 	$(GO) build ./...
@@ -78,6 +80,17 @@ sqldiff:
 shard:
 	$(GO) test -race -run 'Shard|Ring|Prober|Coordinator|Failover|Rebalance|RouteKey' \
 		./internal/shard ./internal/serve ./cmd/cedar-serve ./internal/exp
+
+# Streaming gate under the race detector (DESIGN.md §14): the NDJSON
+# stream endpoint's determinism vs batch (arrival order, window size,
+# faults), backpressure/slow-client behavior (a disconnecting client must
+# not wedge the batcher), the review queue (ranking, idempotent resolve,
+# coordinator fan-out/merge), the failover proxy's delivered-detection
+# regression (zero duplicated claims, fees booked once), and streambench's
+# accounting invariants.
+stream:
+	$(GO) test -race -run 'Stream|Review|AfterDelivery|Delivered|Disagreement|Disconnect|SlowClient' \
+		./internal/serve ./internal/review ./internal/shard ./internal/verify ./cedar ./cmd/cedar-serve ./internal/exp
 
 # Each fuzz target gets a short exploratory burst on top of its seed corpus
 # (the seeds alone already run as part of `go test`).

@@ -377,6 +377,14 @@ func (r Report) String() string {
 // independence is what lets cedar-serve coalesce concurrent requests into
 // micro-batches without perturbing any request's results.
 func (s *System) Verify(docs []*Document) (Report, error) {
+	return s.verifyRun(docs, nil)
+}
+
+// verifyRun is Verify plus an optional span capture: when spans is non-nil it
+// receives the run's trace while runMu is still held, so the capture cannot
+// race a subsequent run's tracer reset. Stream uses it to accumulate per-run
+// traces across a streamed session.
+func (s *System) verifyRun(docs []*Document, spans *[]trace.Span) (Report, error) {
 	if s.pipe == nil {
 		return Report{}, ErrNotProfiled
 	}
@@ -409,6 +417,9 @@ func (s *System) Verify(docs []*Document) (Report, error) {
 				rep.Flagged++
 			}
 		}
+	}
+	if spans != nil && s.opts.Tracer.Enabled() {
+		*spans = s.opts.Tracer.Spans()
 	}
 	s.ledger.Reset()
 	return rep, nil

@@ -19,6 +19,7 @@
 //	shardbench sharded serving — aggregate throughput vs replica count at 10k clients
 //	storebench persistent store — cold vs warm fees, calls, and hit rate
 //	sqlbench   SQL engine — vectorized executor vs row oracle, plan cache cold vs warm
+//	streambench streamed vs batched delivery — time-to-first-verdict and claims/sec
 //	all        run everything above
 package main
 
@@ -84,6 +85,9 @@ func experiments() []experiment {
 		{"sqlbench", "SQL engine: vectorized executor vs row oracle, plan cache cold vs warm", func(s int64, w int) (result, error) {
 			return exp.SQLBench(s, w)
 		}},
+		{"streambench", "Streamed vs batched delivery: time-to-first-verdict and sustained claims/sec", func(s int64, w int) (result, error) {
+			return exp.StreamBench(s, w)
+		}},
 	}
 }
 
@@ -103,6 +107,7 @@ type benchOptions struct {
 	StoreJSON    string
 	SQLJSON      string
 	ShardJSON    string
+	StreamJSON   string
 }
 
 // defineFlags registers the binary's flags on fs, bound to the returned
@@ -124,6 +129,7 @@ func defineFlags(fs *flag.FlagSet) *benchOptions {
 	fs.StringVar(&o.StoreJSON, "store-json", "", "write the storebench result as JSON to this file (e.g. BENCH_store.json)")
 	fs.StringVar(&o.SQLJSON, "sqlbench-json", "", "write the sqlbench result as JSON to this file (e.g. BENCH_sql.json)")
 	fs.StringVar(&o.ShardJSON, "shard-json", "", "write the shardbench result as JSON to this file (e.g. BENCH_shard.json)")
+	fs.StringVar(&o.StreamJSON, "stream-json", "", "write the streambench result as JSON to this file (e.g. BENCH_stream.json)")
 	return o
 }
 
@@ -160,7 +166,7 @@ func main() {
 		os.Exit(2)
 	}
 	ran, err := runExperiments(os.Stdout, flag.Arg(0), o.Seed, o.Workers, o.AsCSV,
-		map[string]string{"storebench": o.StoreJSON, "sqlbench": o.SQLJSON, "shardbench": o.ShardJSON})
+		map[string]string{"storebench": o.StoreJSON, "sqlbench": o.SQLJSON, "shardbench": o.ShardJSON, "streambench": o.StreamJSON})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-bench:", err)
 		os.Exit(1)
@@ -203,7 +209,7 @@ func exportTrace(tracer *trace.Tracer, path string, summary bool, seed int64, wo
 
 // jsonResult is implemented by results with a machine-readable JSON artifact
 // (storebench via -store-json, sqlbench via -sqlbench-json, shardbench via
-// -shard-json).
+// -shard-json, streambench via -stream-json).
 type jsonResult interface{ JSON() ([]byte, error) }
 
 // runExperiments executes every experiment matching want ("all" matches

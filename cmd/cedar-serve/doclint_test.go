@@ -41,6 +41,9 @@ func TestDoclintRoutes(t *testing.T) {
 	for _, route := range []string{
 		"POST /v1/verify",
 		"POST /v1/verify/batch",
+		"POST /v1/verify/stream",
+		"GET /v1/review",
+		"POST /v1/review/{id}",
 		"GET /v1/status",
 		"GET /v1/metrics",
 		"GET /healthz",

@@ -9,11 +9,14 @@
 //
 // Routes (full API reference in docs/CLI.md):
 //
-//	POST /v1/verify        verify one document's claims
-//	POST /v1/verify/batch  verify several documents in one request
-//	GET  /v1/status        serving state and queue depth
-//	GET  /v1/metrics       request, verification, and resilience counters
-//	GET  /healthz          liveness (503 while draining)
+//	POST /v1/verify         verify one document's claims
+//	POST /v1/verify/batch   verify several documents in one request
+//	POST /v1/verify/stream  NDJSON documents in, streamed verdicts out
+//	GET  /v1/review         pending human-review queue, ranked
+//	POST /v1/review/{id}    record a human resolution for one review item
+//	GET  /v1/status         serving state and queue depth
+//	GET  /v1/metrics        request, verification, and resilience counters
+//	GET  /healthz           liveness (503 while draining)
 //
 // A served run is bit-identical to the equivalent `cedar` CLI run: same
 // seed, same database, same claims ⇒ same verdicts and fees, regardless of
@@ -75,6 +78,8 @@ type serveOptions struct {
 	RequestTimeout time.Duration
 	RetryAfter     time.Duration
 	DrainTimeout   time.Duration
+	StreamWindow   int
+	ReviewCap      int
 
 	Retries    int
 	Timeout    time.Duration
@@ -111,6 +116,8 @@ func defineFlags(fs *flag.FlagSet) *serveOptions {
 	fs.DurationVar(&o.RequestTimeout, "request-timeout", 60*time.Second, "per-request deadline propagated via context; expired requests answer 504")
 	fs.DurationVar(&o.RetryAfter, "retry-after", 0, "Retry-After hint on 429 responses (default: estimated queue drain time, min 1s)")
 	fs.DurationVar(&o.DrainTimeout, "drain-timeout", 30*time.Second, "how long graceful shutdown waits for admitted requests to finish")
+	fs.IntVar(&o.StreamWindow, "stream-window", 4, "documents one /v1/verify/stream request may have in flight; past it the server stops reading the stream (backpressure)")
+	fs.IntVar(&o.ReviewCap, "review-cap", 256, "pending human-review items kept; at the cap new items evict only lower-priority ones")
 	fs.IntVar(&o.Retries, "retries", sr.Retries, "retry failed retryable model calls up to N additional times (capped backoff, seeded jitter)")
 	fs.DurationVar(&o.Timeout, "timeout", sr.Timeout, "per-call simulated deadline across retries; 0 disables")
 	fs.DurationVar(&o.HedgeAfter, "hedge", sr.HedgeAfter, "race a backup model call once the primary exceeds this simulated latency; 0 disables")
@@ -217,6 +224,8 @@ func newServerSink(o *serveOptions, sink func([]trace.Span)) (*serve.Server, fun
 		QueueDepth:     o.QueueDepth,
 		RequestTimeout: o.RequestTimeout,
 		RetryAfter:     o.RetryAfter,
+		StreamWindow:   o.StreamWindow,
+		ReviewCap:      o.ReviewCap,
 		Schedule:       sys.Schedule(),
 		Resilience:     func() metrics.ResilienceSnapshot { return sys.Resilience() },
 		Tracer:         tracer,
@@ -262,6 +271,7 @@ func newCoordinator(o *serveOptions) (*serve.Coordinator, error) {
 		DocID:          dbName,
 		Replicas:       o.Replicas,
 		ProbeInterval:  o.ProbeInterval,
+		StreamWindow:   o.StreamWindow,
 		RequestTimeout: o.RequestTimeout,
 	})
 }

@@ -156,6 +156,7 @@ func TestServedMatchesDirectRun(t *testing.T) {
 			Verified: c.Result.Verified,
 			Method:   c.Result.Method,
 			Query:    c.Result.Query,
+			Attempts: c.Result.Attempts,
 			Failure:  c.Result.Failure,
 		}
 		if got != want {

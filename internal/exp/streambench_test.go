@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestStreamBenchJSONShape pins the JSON schema of BENCH_stream.json.
+// EXPERIMENTS.md reads these names; changing them is an artifact-format
+// break and must show up here.
+func TestStreamBenchJSONShape(t *testing.T) {
+	res := &StreamBenchResult{
+		ThrottleScale: 0.5,
+		Rows: []StreamBenchRow{
+			{Mode: "batch", Docs: 2, Claims: 2, TTFVMS: 10, WallMS: 10, ClaimsPerSec: 200, Dollars: 0.25},
+			{Mode: "stream", Docs: 2, Claims: 2, TTFVMS: 5, WallMS: 10, ClaimsPerSec: 200, Dollars: 0.25},
+		},
+	}
+	got, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "throttle_scale": 0.5,
+  "rows": [
+    {
+      "mode": "batch",
+      "docs": 2,
+      "claims": 2,
+      "ttfv_ms": 10,
+      "wall_ms": 10,
+      "claims_per_sec": 200,
+      "dollars": 0.25
+    },
+    {
+      "mode": "stream",
+      "docs": 2,
+      "claims": 2,
+      "ttfv_ms": 5,
+      "wall_ms": 10,
+      "claims_per_sec": 200,
+      "dollars": 0.25
+    }
+  ]
+}`
+	if string(got) != want {
+		t.Errorf("BENCH_stream.json shape changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestStreamBenchSmall runs a shrunken comparison end to end — real server,
+// real sockets — and checks the accounting: both modes verify the full
+// corpus, fees match across modes (same work, different delivery), and the
+// stream's first verdict never waits for the whole corpus.
+func TestStreamBenchSmall(t *testing.T) {
+	res, err := StreamBenchWith(17, StreamBenchConfig{
+		Docs:          6,
+		ThrottleScale: 0.0005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Render())
+	batch, stream := res.row("batch"), res.row("stream")
+	if batch == nil || stream == nil {
+		t.Fatalf("missing a mode row:\n%s", res.Render())
+	}
+	for _, row := range []*StreamBenchRow{batch, stream} {
+		if row.Docs != 6 || row.Claims != 6 {
+			t.Errorf("%s row covered %d docs / %d claims, want 6/6", row.Mode, row.Docs, row.Claims)
+		}
+		if row.Dollars <= 0 {
+			t.Errorf("%s fee = %v, want > 0 (real verification ran)", row.Mode, row.Dollars)
+		}
+		if row.TTFVMS <= 0 || row.WallMS < row.TTFVMS {
+			t.Errorf("%s timings inconsistent: ttfv %.2fms wall %.2fms", row.Mode, row.TTFVMS, row.WallMS)
+		}
+	}
+	// Identical work in both modes bills identical fees (determinism).
+	if diff := batch.Dollars - stream.Dollars; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("fees differ across delivery modes: batch $%v stream $%v", batch.Dollars, stream.Dollars)
+	}
+	// The defining property: a streamed corpus yields its first verdict
+	// before the whole corpus is done. (Batch TTFV is its wall by
+	// construction; wall clocks are noisy, so allow generous slack.)
+	if stream.TTFVMS >= stream.WallMS {
+		t.Errorf("stream first verdict at %.2fms of %.2fms wall: nothing streamed early", stream.TTFVMS, stream.WallMS)
+	}
+}

@@ -49,7 +49,7 @@ func TestLedgerConcurrentRecording(t *testing.T) {
 	wg.Wait()
 
 	want := NewLedger()
-	for i := 0; i < goroutines * perGoroutine / 2; i++ {
+	for i := 0; i < goroutines*perGoroutine/2; i++ {
 		want.Record(ModelGPT35, u, time.Millisecond)
 		want.Record(ModelGPT4o, u, time.Millisecond)
 	}

@@ -42,10 +42,10 @@ type Resilience struct {
 
 // ResilienceSnapshot is a plain-value copy of the counters at one instant.
 type ResilienceSnapshot struct {
-	Attempts, Retries                                 int64
+	Attempts, Retries                                   int64
 	Faults, RateLimited, Timeouts, Transient, Permanent int64
-	Hedges, HedgeWins                                 int64
-	BreakerTrips, BreakerSheds, BreakerProbes         int64
+	Hedges, HedgeWins                                   int64
+	BreakerTrips, BreakerSheds, BreakerProbes           int64
 }
 
 // Snapshot reads all counters. Safe on a nil receiver (all-zero snapshot),

@@ -1,0 +1,182 @@
+package review
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func item(doc, cl string, disagreement, fee, weight float64) Item {
+	return Item{
+		DocID: doc, ClaimID: cl,
+		Sentence: doc + " " + cl + " sentence", Value: "42",
+		Disagreement: disagreement, FeeSunk: fee, Weight: weight,
+	}
+}
+
+// Item IDs are a pure content fingerprint: stable across processes, distinct
+// for distinct claims, and length-prefixed against concatenation collisions.
+func TestReviewItemIDStable(t *testing.T) {
+	a := ItemID("doc", "c1", "the sentence", "42")
+	if b := ItemID("doc", "c1", "the sentence", "42"); b != a {
+		t.Fatalf("same content hashed differently: %s vs %s", a, b)
+	}
+	if b := ItemID("doc", "c2", "the sentence", "42"); b == a {
+		t.Fatal("distinct claims collided")
+	}
+	if b := ItemID("do", "cc1", "the sentence", "42"); b == a {
+		t.Fatal("length-prefixing failed: shifted field boundary collided")
+	}
+	if len(a) != 16 {
+		t.Fatalf("ID length = %d, want 16", len(a))
+	}
+}
+
+// Pending order is deterministic — priority descending, ID ascending on ties
+// — regardless of enqueue order.
+func TestReviewPriorityOrderingDeterministic(t *testing.T) {
+	items := []Item{
+		item("d1", "c1", 1.0, 0.5, 1), // priority 1.5
+		item("d1", "c2", 0.5, 0, 1),   // 0.5
+		item("d2", "c1", 0.9, 1.0, 2), // 3.6
+		item("d2", "c2", 0.5, 0, 1),   // 0.5: ties with d1/c2, ID breaks it
+		item("d3", "c1", 0.67, 0.2, 1),
+	}
+	var want []Item
+	for perm := 0; perm < 10; perm++ {
+		q := NewQueue(0)
+		r := rand.New(rand.NewSource(int64(perm)))
+		for _, i := range r.Perm(len(items)) {
+			if !q.Enqueue(items[i]) {
+				t.Fatalf("perm %d: enqueue rejected %+v", perm, items[i])
+			}
+		}
+		got := q.Pending(0)
+		for i := range got {
+			got[i].enqueuedAt = time.Time{} // wall clock, not part of the ordering contract
+		}
+		if perm == 0 {
+			want = got
+			for i := 1; i < len(want); i++ {
+				a, b := want[i-1], want[i]
+				if a.Priority < b.Priority || (a.Priority == b.Priority && a.ID >= b.ID) {
+					t.Fatalf("order violated at %d: %+v before %+v", i, a, b)
+				}
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("perm %d: pending order diverged:\n got %+v\nwant %+v", perm, got, want)
+		}
+	}
+	if want[0].DocID != "d2" || want[0].ClaimID != "c1" {
+		t.Fatalf("highest expected-value item = %s/%s, want d2/c1", want[0].DocID, want[0].ClaimID)
+	}
+}
+
+// Resolve is idempotent: the first resolution wins, repeats — even with a
+// contradictory verdict — return it unchanged, and a resolved claim cannot be
+// re-enqueued by later traffic.
+func TestReviewResolveIdempotent(t *testing.T) {
+	q := NewQueue(0)
+	it := item("d", "c1", 1, 0.2, 1)
+	if !q.Enqueue(it) {
+		t.Fatal("enqueue rejected")
+	}
+	id := q.Pending(0)[0].ID
+
+	first, ok := q.Resolve(id, ResolutionOverturned, "bad join")
+	if !ok || first.Resolution != ResolutionOverturned || first.Note != "bad join" {
+		t.Fatalf("first resolve = %+v ok=%t", first, ok)
+	}
+	if len(q.Pending(0)) != 0 {
+		t.Fatal("resolved item still pending")
+	}
+	second, ok := q.Resolve(id, ResolutionConfirmed, "actually fine")
+	if !ok {
+		t.Fatal("second resolve reported unknown id")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("second resolve changed the item:\nfirst  %+v\nsecond %+v", first, second)
+	}
+	if q.Enqueue(it) {
+		t.Fatal("resolved claim was re-enqueued")
+	}
+	if st := q.Stats(); st.Resolved != 1 || st.Depth != 0 {
+		t.Fatalf("stats = %+v, want resolved=1 depth=0", st)
+	}
+	if _, ok := q.Resolve("no-such-id", ResolutionConfirmed, ""); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+// Enqueue is idempotent by ID, rejects unreviewable (zero-disagreement)
+// items, and at the cap keeps the highest-priority claims.
+func TestReviewEnqueueBoundsAndIdempotency(t *testing.T) {
+	q := NewQueue(2)
+	if q.Enqueue(item("d", "agree", 0, 1, 1)) {
+		t.Fatal("zero-disagreement item enqueued")
+	}
+	a, b := item("d", "a", 0.5, 0, 1), item("d", "b", 0.9, 0, 1)
+	q.Enqueue(a)
+	q.Enqueue(b)
+	if !q.Enqueue(a) { // duplicate refreshes in place
+		t.Fatal("pending duplicate rejected")
+	}
+	if st := q.Stats(); st.Depth != 2 || st.Enqueued != 2 {
+		t.Fatalf("after duplicate: stats = %+v, want depth=2 enqueued=2", st)
+	}
+	// Outranking item evicts the lowest; underranking item is dropped.
+	if !q.Enqueue(item("d", "hot", 1.0, 1, 1)) {
+		t.Fatal("outranking item rejected at cap")
+	}
+	if q.Enqueue(item("d", "cold", 0.1, 0, 1)) {
+		t.Fatal("underranking item admitted at cap")
+	}
+	got := q.Pending(0)
+	if len(got) != 2 || got[0].ClaimID != "hot" || got[1].ClaimID != "b" {
+		t.Fatalf("pending after eviction = %+v, want [hot b]", got)
+	}
+	if st := q.Stats(); st.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 (one eviction, one rejection)", st.Dropped)
+	}
+}
+
+// Stats reports depth, age of the oldest pending item, and the max priority.
+func TestReviewStatsAge(t *testing.T) {
+	q := NewQueue(0)
+	now := time.Unix(1000, 0)
+	q.now = func() time.Time { return now }
+	q.Enqueue(item("d", "c1", 0.9, 0, 1))
+	now = now.Add(3 * time.Second)
+	q.Enqueue(item("d", "c2", 0.5, 0, 1))
+	now = now.Add(2 * time.Second)
+	st := q.Stats()
+	if st.Depth != 2 || st.OldestAge != 5*time.Second || st.MaxPriority != 0.9 {
+		t.Fatalf("stats = %+v, want depth=2 oldest=5s maxPriority=0.9", st)
+	}
+}
+
+// The queue is safe under concurrent enqueue/resolve/pending traffic.
+func TestReviewConcurrentAccess(t *testing.T) {
+	q := NewQueue(64)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				it := item(fmt.Sprintf("d%d", g), fmt.Sprintf("c%d", i), 0.5+float64(i%5)/10, float64(i)/100, 1)
+				q.Enqueue(it)
+				if p := q.Pending(4); len(p) > 0 {
+					q.Resolve(p[0].ID, ResolutionConfirmed, "")
+				}
+				q.Stats()
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

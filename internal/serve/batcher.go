@@ -24,6 +24,11 @@ type job struct {
 // only after receiving this (the channel send orders the memory accesses).
 type jobResult struct {
 	stats BatchStats
+	// batch numbers the micro-batch run the job rode in (1-based; zero on
+	// error results). Stats cover the whole batch, so a consumer holding
+	// several jobs — the stream handler — sums fee totals once per distinct
+	// batch number instead of once per job.
+	batch int64
 	err   error
 }
 
@@ -115,8 +120,9 @@ func (s *Server) runBatch(batch []*job) {
 		s.met.recordBatch(bs)
 		s.harvestTrace()
 	}
+	s.batchSeq++ // only written here, on the single batch-loop goroutine
 	for _, j := range live {
-		j.done <- jobResult{stats: bs, err: err}
+		j.done <- jobResult{stats: bs, batch: s.batchSeq, err: err}
 	}
 }
 

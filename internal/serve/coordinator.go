@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -44,6 +45,11 @@ type CoordinatorConfig struct {
 	// Attempts bounds the replicas one request may try, owner first
 	// (default 3).
 	Attempts int
+	// StreamWindow bounds the documents one POST /v1/verify/stream request
+	// may have in flight across replicas (default 4). Each document is
+	// proxied to the replica owning its shard key; the window is the
+	// coordinator's own backpressure bound, independent of the replicas'.
+	StreamWindow int
 	// RequestTimeout bounds one proxied request end to end (default 60s;
 	// negative disables).
 	RequestTimeout time.Duration
@@ -98,6 +104,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.StreamWindow <= 0 {
+		cfg.StreamWindow = 4
 	}
 	client := cfg.Client
 	if client == nil {
@@ -164,6 +173,9 @@ func (c *Coordinator) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", c.handleVerify)
 	mux.HandleFunc("POST /v1/verify/batch", c.handleVerifyBatch)
+	mux.HandleFunc("POST /v1/verify/stream", c.handleVerifyStream)
+	mux.HandleFunc("GET /v1/review", c.handleReviewList)
+	mux.HandleFunc("POST /v1/review/{id}", c.handleReviewResolve)
 	mux.HandleFunc("GET /v1/status", c.handleStatus)
 	mux.HandleFunc("GET /v1/metrics", c.handleMetrics)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
@@ -321,17 +333,30 @@ func (c *Coordinator) countRelay(status int) {
 	}
 }
 
-// renderProxyError maps a proxy failure (no replica answered at all) onto
-// the error envelope: an empty ring is a drain-equivalent 503, anything else
-// a 500 naming the last replica error.
-func (c *Coordinator) renderProxyError(w http.ResponseWriter, err error) {
-	if err == shard.ErrNoReplicas {
+// proxyErrorDetail classifies a proxy failure and books its metric: an empty
+// ring is a drain-equivalent 503; a replica that died after the request was
+// delivered is 502/replica_lost — the work may have run and been billed, so
+// the proxy refused to retry it elsewhere and the caller decides whether
+// re-submitting (verdict-safe; only fees recur) is acceptable; anything else
+// is a 500 naming the last replica error.
+func (c *Coordinator) proxyErrorDetail(err error) (int, ErrorDetail) {
+	switch {
+	case err == shard.ErrNoReplicas:
 		c.met.inc(&c.met.rejectedDraining)
-		writeError(w, http.StatusServiceUnavailable, CodeDraining, "no live replicas", 0)
-		return
+		return http.StatusServiceUnavailable, ErrorDetail{Code: CodeDraining, Message: "no live replicas"}
+	case errors.Is(err, shard.ErrAfterDelivery):
+		c.met.inc(&c.met.internalErrors)
+		return http.StatusBadGateway, ErrorDetail{Code: CodeReplicaLost, Message: err.Error()}
+	default:
+		c.met.inc(&c.met.internalErrors)
+		return http.StatusInternalServerError, ErrorDetail{Code: CodeInternal, Message: err.Error()}
 	}
-	c.met.inc(&c.met.internalErrors)
-	writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
+}
+
+// renderProxyError maps a proxy failure onto the error envelope.
+func (c *Coordinator) renderProxyError(w http.ResponseWriter, err error) {
+	status, det := c.proxyErrorDetail(err)
+	writeError(w, status, det.Code, det.Message, 0)
 }
 
 // relay writes a replica's response verbatim.
@@ -511,6 +536,7 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 // counters plus the shard section and the replica-breaker counters.
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	body := c.met.snapshot()
+	body.Stream.Window = c.cfg.StreamWindow
 	rs := c.res.Snapshot()
 	body.Resilience = &ResilienceCounters{
 		BreakerTrips:  rs.BreakerTrips,

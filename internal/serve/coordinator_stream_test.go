@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/claim"
+	"repro/internal/sqldb"
+)
+
+// countingBackend tags claims like tagBackend and additionally counts how
+// many claims and dollars it has booked, so tests can prove work ran exactly
+// once.
+type countingBackend struct {
+	tag     string
+	mu      sync.Mutex
+	claims  int
+	dollars float64
+}
+
+func (b *countingBackend) VerifyDocuments(docs []*claim.Document) (RunStats, error) {
+	n := 0
+	for _, d := range docs {
+		for _, c := range d.Claims {
+			c.Result.Verified = true
+			c.Result.Correct = true
+			c.Result.Method = b.tag
+			n++
+		}
+	}
+	st := RunStats{Claims: n, Dollars: 0.01 * float64(n), Calls: n}
+	b.mu.Lock()
+	b.claims += n
+	b.dollars += st.Dollars
+	b.mu.Unlock()
+	return st, nil
+}
+
+func (b *countingBackend) totals() (int, float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.claims, b.dollars
+}
+
+// A coordinator stream routes each document to its ring owner and relays the
+// verdict events back in arrival order, with stream-global indices and
+// summed summary.
+func TestCoordinatorStreamRoutesAndMergesInOrder(t *testing.T) {
+	a := newReplica(t, Config{Backend: tagBackend("replica-a"), BatchWait: -1})
+	b := newReplica(t, Config{Backend: tagBackend("replica-b"), BatchWait: -1})
+	c, ts := newTestCoordinator(t, CoordinatorConfig{}, a, b)
+	tags := map[string]string{a.ts.URL: "replica-a", b.ts.URL: "replica-b"}
+
+	docA, docB := docOwnedBy(t, c, a.ts.URL), docOwnedBy(t, c, b.ts.URL)
+	ids := []string{docA, docB, docA + "-x"}
+	var lines []string
+	for _, id := range ids {
+		lines = append(lines, streamDocLine(id, "1"))
+	}
+	resp := postStream(t, ts.URL, strings.Join(lines, "\n")+"\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	verdicts, errs, sum := splitEvents(t, readEvents(t, resp))
+	if len(errs) != 0 || len(verdicts) != 3 {
+		t.Fatalf("stream = %d verdicts %d errors, want 3/0: %+v", len(verdicts), len(errs), errs)
+	}
+	for i, id := range ids {
+		ev := verdicts[i]
+		if ev.DocID != id || ev.Index != i {
+			t.Errorf("verdict[%d] = doc %q index %d, want %q/%d (arrival order)", i, ev.DocID, ev.Index, id, i)
+		}
+		owner, _ := c.Owner(testRouteKey(id, nil))
+		if ev.Claim == nil || ev.Claim.Method != tags[owner] {
+			t.Errorf("doc %q served by %v, want owner %q", id, ev.Claim, tags[owner])
+		}
+	}
+	// Calls and fees are exact: 1 call at $0.01 per claim, booked once even
+	// when two relayed documents coalesce into one replica micro-batch.
+	if sum.Docs != 3 || sum.Claims != 3 || sum.Calls != 3 ||
+		sum.Dollars < 0.03-1e-9 || sum.Dollars > 0.03+1e-9 {
+		t.Errorf("summary = %+v, want docs=3 claims=3 calls=3 dollars=0.03", sum)
+	}
+}
+
+// The coordinator merges every replica's review queue into one
+// deterministically ranked list, and broadcasts resolutions so the whole
+// tier agrees with the human — idempotently.
+func TestCoordinatorReviewFanoutAndResolve(t *testing.T) {
+	a := newReplica(t, Config{Backend: BackendFunc(reviewBackend), BatchWait: -1})
+	b := newReplica(t, Config{Backend: BackendFunc(reviewBackend), BatchWait: -1})
+	c, ts := newTestCoordinator(t, CoordinatorConfig{}, a, b)
+
+	docA, docB := docOwnedBy(t, c, a.ts.URL), docOwnedBy(t, c, b.ts.URL)
+	body := streamDocLine(docA, "fail") + "\n" + streamDocLine(docB, "3") + "\n"
+	verdicts, errs, sum := splitEvents(t, readEvents(t, postStream(t, ts.URL, body)))
+	if len(errs) != 0 || len(verdicts) != 2 || sum.Reviewed != 2 {
+		t.Fatalf("stream = %+v errors %+v reviewed %d, want 2 reviewed verdicts", verdicts, errs, sum.Reviewed)
+	}
+	if verdicts[0].ReviewID == "" || verdicts[1].ReviewID == "" {
+		t.Fatal("review IDs not preserved through the coordinator relay")
+	}
+
+	// Merged list: the failed claim (disagreement 1.0) outranks the
+	// three-attempt claim (2/3), whichever replica holds it.
+	resp, err := http.Get(ts.URL + "/v1/review")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list ReviewListResponse
+	decodeInto(t, resp, &list)
+	if len(list.Items) != 2 || list.Stats.Depth != 2 {
+		t.Fatalf("merged review list = %+v, want both replicas' items", list)
+	}
+	if list.Items[0].ID != verdicts[0].ReviewID || list.Items[0].Disagreement != 1 {
+		t.Fatalf("merged head = %+v, want the failed claim first", list.Items[0])
+	}
+
+	// Resolution through the coordinator reaches the replica that holds the
+	// item; resolving again is idempotent; unknown IDs 404.
+	id := verdicts[1].ReviewID
+	r1, err := http.Post(ts.URL+"/v1/review/"+id, "application/json",
+		strings.NewReader(`{"resolution":"confirmed","note":"lgtm"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("resolve via coordinator: status %d", r1.StatusCode)
+	}
+	var resolved map[string]any
+	decodeInto(t, r1, &resolved)
+	if resolved["resolution"] != "confirmed" {
+		t.Fatalf("resolved = %+v", resolved)
+	}
+	r2, err := http.Post(ts.URL+"/v1/review/"+id, "application/json",
+		strings.NewReader(`{"resolution":"overturned"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again map[string]any
+	decodeInto(t, r2, &again)
+	if again["resolution"] != "confirmed" {
+		t.Fatalf("re-resolve flipped the verdict: %+v", again)
+	}
+	r3, err := http.Post(ts.URL+"/v1/review/ffffffffffffffff", "application/json",
+		strings.NewReader(`{"resolution":"confirmed"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id via coordinator: status %d", r3.StatusCode)
+	}
+	io.Copy(io.Discard, r3.Body)
+	r3.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/review")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, resp, &list)
+	if len(list.Items) != 1 || list.Stats.Resolved != 1 {
+		t.Fatalf("after resolve: %+v, want one pending one resolved", list)
+	}
+}
+
+// killingReplicaServer wraps a real replica Server: verification requests
+// run to completion against the inner backend — claims verified, fees booked
+// — and then the connection dies without a byte of response. This is the
+// worst post-delivery failure: work done, answer lost.
+func killingReplicaServer(t *testing.T, inner *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			inner.ServeHTTP(w, r) // healthz etc. answer normally
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("killing replica read: %v", err)
+			return
+		}
+		req := httptest.NewRequest(r.Method, r.URL.String(), strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		inner.ServeHTTP(rec, req) // the work happens — and is billed
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("killing replica: no hijacker")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		conn.Close() // die after delivery, before any response
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// The duplicate-work regression, end to end at the claims-and-fees level: a
+// replica that dies after receiving (and running) a streamed request must
+// NOT be failed over — the coordinator reports replica_lost and the ring
+// successor never re-executes the claims, so fees are booked exactly once.
+func TestCoordinatorStreamNoDuplicateWorkAfterReplicaLoss(t *testing.T) {
+	killerBackend := &countingBackend{tag: "killer"}
+	killerSrv, err := New(Config{Backend: killerBackend, DB: sqldb.NewDatabase("testdb"), BatchWait: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := contextWithTimeout(5 * time.Second)
+		defer cancel()
+		_ = killerSrv.Shutdown(ctx)
+	})
+	killerTS := killingReplicaServer(t, killerSrv)
+
+	successorBackend := &countingBackend{tag: "successor"}
+	successor := newReplica(t, Config{Backend: successorBackend, BatchWait: -1})
+
+	c, ts := newTestCoordinator(t, CoordinatorConfig{Attempts: 3},
+		&replicaFixture{srv: killerSrv, ts: killerTS}, successor)
+
+	docID := docOwnedBy(t, c, killerTS.URL)
+	resp := postStream(t, ts.URL, streamDocLine(docID, "1")+"\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (stream errors are in-band)", resp.StatusCode)
+	}
+	verdicts, errs, sum := splitEvents(t, readEvents(t, resp))
+	if len(verdicts) != 0 || sum.Docs != 0 {
+		t.Fatalf("got verdicts %+v summary %+v from a lost replica", verdicts, sum)
+	}
+	if len(errs) != 1 || errs[0].Error == nil || errs[0].Error.Code != CodeReplicaLost {
+		t.Fatalf("errors = %+v, want one replica_lost", errs)
+	}
+
+	// The claims ran exactly once, on the replica that died; the successor
+	// never saw them and no fee was booked twice.
+	kc, kd := killerBackend.totals()
+	sc, sd := successorBackend.totals()
+	if kc != 1 {
+		t.Errorf("killer backend verified %d claims, want 1 (work delivered before death)", kc)
+	}
+	if sc != 0 || sd != 0 {
+		t.Errorf("successor backend verified %d claims ($%v): post-delivery failure was retried", sc, sd)
+	}
+	if want := 0.01; kd != want {
+		t.Errorf("fees booked = $%v, want $%v exactly once", kd, want)
+	}
+
+	// The unary route refuses the same retry, with the HTTP-level 502.
+	uresp := postVerify(t, ts.URL, verifyBody(docID))
+	if uresp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("unary via lost replica: status %d, want 502", uresp.StatusCode)
+	}
+	if code := errorCode(t, uresp); code != CodeReplicaLost {
+		t.Fatalf("unary error code = %q, want %q", code, CodeReplicaLost)
+	}
+	if kc, _ := killerBackend.totals(); kc != 2 {
+		t.Errorf("killer backend after unary = %d claims, want 2", kc)
+	}
+	if sc, _ := successorBackend.totals(); sc != 0 {
+		t.Errorf("successor re-executed the unary claims: %d", sc)
+	}
+}
+
+// A pre-delivery failure still fails over: a replica that is simply down
+// routes around, and the stream completes on the successor.
+func TestCoordinatorStreamFailsOverDeadReplica(t *testing.T) {
+	deadTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok") // healthy at registration...
+	}))
+	successorBackend := &countingBackend{tag: "successor"}
+	successor := newReplica(t, Config{Backend: successorBackend, BatchWait: -1})
+	c, ts := newTestCoordinator(t, CoordinatorConfig{Attempts: 3},
+		&replicaFixture{srv: successor.srv, ts: deadTS}, successor)
+
+	docID := docOwnedBy(t, c, deadTS.URL)
+	deadTS.Close() // ...but gone before the request: connection refused, nothing delivered
+	resp := postStream(t, ts.URL, streamDocLine(docID, "1")+"\n")
+	verdicts, errs, sum := splitEvents(t, readEvents(t, resp))
+	if len(errs) != 0 || len(verdicts) != 1 || sum.Docs != 1 {
+		t.Fatalf("failover stream = %d verdicts %+v, want the successor's verdict", len(verdicts), errs)
+	}
+	if verdicts[0].Claim.Method != "successor" {
+		t.Errorf("served by %q, want successor", verdicts[0].Claim.Method)
+	}
+	if sc, _ := successorBackend.totals(); sc != 1 {
+		t.Errorf("successor verified %d claims, want 1", sc)
+	}
+}

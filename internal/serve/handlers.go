@@ -21,6 +21,9 @@ func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
+	mux.HandleFunc("POST /v1/verify/stream", s.handleVerifyStream)
+	mux.HandleFunc("GET /v1/review", s.handleReviewList)
+	mux.HandleFunc("POST /v1/review/{id}", s.handleReviewResolve)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -97,6 +100,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.renderError(w, aerr)
 		return
 	}
+	s.reviewDocuments([]*claim.Document{doc}, stats)
 	dr := documentResult(doc)
 	s.met.recordRequest(time.Since(started))
 	writeJSON(w, http.StatusOK, VerifyResponse{DocID: dr.DocID, Claims: dr.Claims, Batch: stats})
@@ -130,6 +134,7 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 		s.renderError(w, aerr)
 		return
 	}
+	s.reviewDocuments(docs, stats)
 	out := BatchResponse{Batch: stats}
 	for _, d := range docs {
 		out.Documents = append(out.Documents, documentResult(d))
@@ -145,19 +150,23 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		state = "draining"
 	}
 	writeJSON(w, http.StatusOK, StatusResponse{
-		State:       state,
-		QueueDepth:  len(s.queue),
-		QueueCap:    s.cfg.QueueDepth,
-		MaxBatch:    s.cfg.MaxBatch,
-		BatchWaitMS: s.cfg.BatchWait.Milliseconds(),
-		Schedule:    s.cfg.Schedule,
-		UptimeMS:    time.Since(s.start).Milliseconds(),
+		State:        state,
+		QueueDepth:   len(s.queue),
+		QueueCap:     s.cfg.QueueDepth,
+		MaxBatch:     s.cfg.MaxBatch,
+		BatchWaitMS:  s.cfg.BatchWait.Milliseconds(),
+		StreamWindow: s.cfg.StreamWindow,
+		Schedule:     s.cfg.Schedule,
+		UptimeMS:     time.Since(s.start).Milliseconds(),
 	})
 }
 
 // handleMetrics answers GET /v1/metrics with the cumulative counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	body := s.met.snapshot()
+	body.Stream.Window = s.cfg.StreamWindow
+	rc := reviewCounters(s.review.Stats())
+	body.Review = &rc
 	if s.cfg.Resilience != nil {
 		rs := s.cfg.Resilience()
 		body.Resilience = &ResilienceCounters{

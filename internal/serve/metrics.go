@@ -32,6 +32,12 @@ type serveMetrics struct {
 	dollars float64
 	calls   int64
 
+	// streams counts POST /v1/verify/stream sessions; streamDocs the
+	// documents answered through them (also counted in docs above — streamed
+	// documents ride ordinary micro-batches).
+	streams    int64
+	streamDocs int64
+
 	e2e     *window
 	methods map[string]*methodAgg
 }
@@ -68,6 +74,12 @@ func (m *serveMetrics) recordBatch(bs BatchStats) {
 	m.claims += int64(bs.Claims)
 	m.dollars += bs.Dollars
 	m.calls += int64(bs.Calls)
+	m.mu.Unlock()
+}
+
+func (m *serveMetrics) addStreamDoc() {
+	m.mu.Lock()
+	m.streamDocs++
 	m.mu.Unlock()
 }
 
@@ -112,8 +124,36 @@ type MetricsResponse struct {
 	// coordinator, breaker_trips/breaker_probes count replica ejections and
 	// recovery probes of the replica-level breaker.
 	Resilience *ResilienceCounters `json:"resilience,omitempty"`
+	// Stream tallies the incremental verification surface; present on
+	// servers and coordinators that route POST /v1/verify/stream.
+	Stream *StreamCounters `json:"stream,omitempty"`
+	// Review snapshots the human-review queue (depth, age, throughput).
+	Review *ReviewCounters `json:"review,omitempty"`
 	// Shard describes the routing tier; present only on coordinators.
 	Shard *ShardCounters `json:"shard,omitempty"`
+}
+
+// StreamCounters tallies the streaming surface.
+type StreamCounters struct {
+	// Sessions counts stream requests; Docs the documents answered through
+	// them (each also counted in verify.docs — streamed documents ride
+	// ordinary micro-batches).
+	Sessions int64 `json:"sessions"`
+	Docs     int64 `json:"docs"`
+	// Window echoes the configured in-flight bound per stream.
+	Window int `json:"window"`
+}
+
+// ReviewCounters snapshots the review queue for /v1/metrics and /v1/review.
+type ReviewCounters struct {
+	// Depth is the pending count; Enqueued/Resolved/Dropped are cumulative.
+	Depth    int   `json:"depth"`
+	Enqueued int64 `json:"enqueued"`
+	Resolved int64 `json:"resolved"`
+	Dropped  int64 `json:"dropped"`
+	// OldestAgeMS ages the oldest pending item; MaxPriority ranks the head.
+	OldestAgeMS int64   `json:"oldest_age_ms"`
+	MaxPriority float64 `json:"max_priority"`
 }
 
 // ShardCounters is the coordinator's routing rollup.
@@ -208,6 +248,7 @@ func (m *serveMetrics) snapshot() MetricsResponse {
 			Calls:   m.calls,
 		},
 		LatencyMS: m.e2e.quantiles(),
+		Stream:    &StreamCounters{Sessions: m.streams, Docs: m.streamDocs},
 	}
 	names := make([]string, 0, len(m.methods))
 	for name := range m.methods {

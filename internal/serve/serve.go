@@ -24,9 +24,17 @@
 //     completes (the work is billed; the response is lost). Shutdown stops
 //     intake, verifies everything already admitted, then returns.
 //
-// The HTTP surface (POST /v1/verify, POST /v1/verify/batch, GET /v1/status,
-// GET /v1/metrics, GET /healthz) is documented in docs/CLI.md; doclint
-// keeps that document in sync with the binary's flags.
+// Beyond the unary routes, POST /v1/verify/stream accepts an NDJSON stream
+// of documents and streams per-claim verdicts back as their micro-batches
+// land, holding at most StreamWindow documents in flight (backpressure, not
+// buffering); verdicts the pipeline is least sure about are queued for human
+// review (internal/review), exposed via GET /v1/review and resolved via
+// POST /v1/review/{id}.
+//
+// The HTTP surface (POST /v1/verify, POST /v1/verify/batch,
+// POST /v1/verify/stream, GET /v1/review, POST /v1/review/{id},
+// GET /v1/status, GET /v1/metrics, GET /healthz) is documented in
+// docs/CLI.md; doclint keeps that document in sync with the binary's flags.
 package serve
 
 import (
@@ -38,6 +46,7 @@ import (
 
 	"repro/internal/claim"
 	"repro/internal/metrics"
+	"repro/internal/review"
 	"repro/internal/sqldb"
 	"repro/internal/trace"
 )
@@ -94,6 +103,15 @@ type Config struct {
 	// waits, floored at 1s). Fixed by configuration, so shedding behavior
 	// is deterministic and testable.
 	RetryAfter time.Duration
+	// StreamWindow bounds the documents one POST /v1/verify/stream request
+	// may have admitted but not yet answered (default 4). The stream reader
+	// stops consuming input — real backpressure, pushed to the client's TCP
+	// window — instead of buffering past it.
+	StreamWindow int
+	// ReviewCap bounds the review queue's pending set (default
+	// review.DefaultCap). At the cap, new items evict only lower-priority
+	// ones; the queue keeps the claims most worth a human's attention.
+	ReviewCap int
 	// Schedule optionally names the planned verification schedule for
 	// GET /v1/status.
 	Schedule string
@@ -120,8 +138,13 @@ type Server struct {
 	draining bool
 	// loopDone closes when the batch loop has drained the queue and exited.
 	loopDone chan struct{}
+	// batchSeq numbers micro-batch runs; touched only by the batch loop.
+	batchSeq int64
 	start    time.Time
 	met      *serveMetrics
+	// review holds verdicts ambiguous enough to deserve a human look,
+	// ranked by expected value of review (see internal/review).
+	review *review.Queue
 }
 
 // New validates the configuration, applies defaults, starts the batch loop,
@@ -149,6 +172,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 60 * time.Second
 	}
+	if cfg.StreamWindow <= 0 {
+		cfg.StreamWindow = 4
+	}
+	if cfg.ReviewCap <= 0 {
+		cfg.ReviewCap = review.DefaultCap
+	}
 	if cfg.RetryAfter <= 0 {
 		wait := cfg.BatchWait
 		if wait < 0 {
@@ -165,6 +194,7 @@ func New(cfg Config) (*Server, error) {
 		loopDone: make(chan struct{}),
 		start:    time.Now(),
 		met:      newServeMetrics(),
+		review:   review.NewQueue(cfg.ReviewCap),
 	}
 	s.mux = s.routes()
 	go s.batchLoop()
@@ -183,6 +213,10 @@ func (s *Server) Draining() bool {
 
 // QueueDepth returns the number of requests admitted but not yet batched.
 func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Review exposes the server's review queue (never nil after New). Test and
+// cmd hook; HTTP clients use GET /v1/review and POST /v1/review/{id}.
+func (s *Server) Review() *review.Queue { return s.review }
 
 // Shutdown drains the server gracefully: new requests are rejected with 503
 // immediately, every request already admitted is verified and answered, and

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/claim"
+	"repro/internal/review"
 )
 
 // Wire types of the cedar-serve HTTP API (documented in docs/CLI.md). The
@@ -56,6 +57,10 @@ type ClaimResult struct {
 	Verified bool   `json:"verified"`
 	Method   string `json:"method,omitempty"`
 	Query    string `json:"query,omitempty"`
+	// Attempts counts the method invocations spent on the claim; more than
+	// one means the methods disagreed before a verdict landed, which feeds
+	// the review queue's disagreement score.
+	Attempts int `json:"attempts,omitempty"`
 	// Failure is the transport-error class when the claim's method is
 	// "failed" — the provider, not the translation, is why it went
 	// unverified (see internal/claim).
@@ -97,6 +102,65 @@ type BatchResponse struct {
 	Batch     BatchStats       `json:"batch"`
 }
 
+// StreamEvent is one NDJSON line of a POST /v1/verify/stream response. The
+// request body is itself NDJSON — one DocumentInput per line — and the
+// response interleaves three event kinds: "verdict" (one claim's result, as
+// soon as its document's micro-batch lands), "error" (a per-document or
+// stream-level failure carrying the standard error detail), and a final
+// "summary". Index is the 0-based arrival ordinal of the document the event
+// belongs to; it is meaningful on verdict and error events only.
+type StreamEvent struct {
+	Event string `json:"event"`
+	DocID string `json:"doc_id,omitempty"`
+	Index int    `json:"index"`
+	// Claim is the verdict payload of a "verdict" event.
+	Claim *ClaimResult `json:"claim,omitempty"`
+	// ReviewID is set on a "verdict" event whose claim was enqueued for
+	// human review; resolve it via POST /v1/review/{id}.
+	ReviewID string `json:"review_id,omitempty"`
+	// Error is the failure payload of an "error" event.
+	Error *ErrorDetail `json:"error,omitempty"`
+	// Summary is the closing payload of a "summary" event.
+	Summary *StreamSummary `json:"summary,omitempty"`
+}
+
+// StreamSummary closes a verification stream. Like BatchStats, Dollars and
+// Calls cover the micro-batches the stream's documents rode in — which may
+// include other requests' claims coalesced into the same runs.
+type StreamSummary struct {
+	// Docs and Claims count what this stream submitted and had verified.
+	Docs   int `json:"docs"`
+	Claims int `json:"claims"`
+	// Dollars and Calls total the batch runs that carried those documents.
+	Dollars float64 `json:"dollars"`
+	Calls   int     `json:"calls"`
+	// Reviewed counts this stream's claims enqueued for human review.
+	Reviewed int `json:"reviewed"`
+	// Batches lists the distinct micro-batch ordinals (1-based, server-local)
+	// whose totals Dollars and Calls summed, in first-seen order. A consumer
+	// holding several streams against one server — the coordinator's relay
+	// merge — uses it to count a shared batch's fee once, not once per
+	// stream.
+	Batches []int64 `json:"batches,omitempty"`
+}
+
+// ReviewListResponse is the body answering GET /v1/review.
+type ReviewListResponse struct {
+	// Items are the pending review items in deterministic review order:
+	// priority descending, then ID ascending.
+	Items []review.Item `json:"items"`
+	// Stats snapshots the queue counters (same shape as /v1/metrics review).
+	Stats ReviewCounters `json:"stats"`
+}
+
+// ReviewResolveRequest is the body of POST /v1/review/{id}.
+type ReviewResolveRequest struct {
+	// Resolution is "confirmed" or "overturned".
+	Resolution string `json:"resolution"`
+	// Note is the reviewer's optional free-form comment.
+	Note string `json:"note,omitempty"`
+}
+
 // StatusResponse is the body answering GET /v1/status.
 type StatusResponse struct {
 	// State is "serving" or "draining".
@@ -108,6 +172,9 @@ type StatusResponse struct {
 	// MaxBatch and BatchWaitMS echo the coalescing configuration.
 	MaxBatch    int   `json:"max_batch"`
 	BatchWaitMS int64 `json:"batch_wait_ms"`
+	// StreamWindow is the per-stream in-flight document bound of
+	// POST /v1/verify/stream; zero on coordinators (the replicas enforce it).
+	StreamWindow int `json:"stream_window,omitempty"`
 	// Schedule is the planned verification schedule serving requests.
 	Schedule string `json:"schedule,omitempty"`
 	// UptimeMS is wall time since the server started.
@@ -137,7 +204,8 @@ type ReplicaRequest struct {
 
 // ErrorBody is the uniform error envelope: every non-2xx response carries
 // {"error": {"code", "message"}}. Codes are stable strings (docs/CLI.md):
-// bad_request, overloaded, draining, deadline_exceeded, internal.
+// bad_request, overloaded, draining, deadline_exceeded, internal, not_found,
+// replica_lost.
 type ErrorBody struct {
 	Error ErrorDetail `json:"error"`
 }
@@ -155,6 +223,14 @@ const (
 	CodeDraining         = "draining"
 	CodeDeadlineExceeded = "deadline_exceeded"
 	CodeInternal         = "internal"
+	// CodeNotFound answers a resolve of an unknown review item.
+	CodeNotFound = "not_found"
+	// CodeReplicaLost reports a replica that failed after a request was
+	// delivered to it: the work may have run (and been billed), so the
+	// coordinator must not silently retry it elsewhere — the caller decides
+	// whether re-submitting is acceptable (it is always verdict-safe;
+	// determinism makes re-verification idempotent, only fees recur).
+	CodeReplicaLost = "replica_lost"
 )
 
 // buildDocument converts one wire document into the domain model, defaulting
@@ -194,6 +270,7 @@ func documentResult(doc *claim.Document) DocumentResult {
 			Verified: c.Result.Verified,
 			Method:   c.Result.Method,
 			Query:    c.Result.Query,
+			Attempts: c.Result.Attempts,
 			Failure:  c.Result.Failure,
 		})
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 )
 
 // maxProxyResponseBytes bounds one replica response the proxy buffers;
@@ -15,6 +16,16 @@ const maxProxyResponseBytes = 8 << 20
 
 // ErrNoReplicas is returned when the ring has no live members to route to.
 var ErrNoReplicas = errors.New("shard: no live replicas")
+
+// ErrAfterDelivery marks a transport failure that happened after the request
+// had already been delivered to a replica — the connection died mid-response,
+// or reading the response body failed. The replica may have verified the
+// claims and booked their fees, so retrying on a ring successor would re-run
+// the work and double-bill it. The proxy surfaces these instead of failing
+// over; callers decide whether to re-submit (safe only because verdict memos
+// and the persistent store make a true re-run idempotent in results, though
+// never in fees).
+var ErrAfterDelivery = errors.New("shard: replica failed after the request was delivered")
 
 // Result is one proxied exchange: which replica answered (after zero or
 // more failovers), with what status and body.
@@ -81,14 +92,23 @@ func (p *Proxy) Do(ctx context.Context, key []byte, path string, body []byte) (R
 	}
 	var lastErr error
 	for hop, node := range nodes {
-		res, err := p.forward(ctx, client, node, path, body)
+		res, delivered, err := p.forward(ctx, client, node, path, body)
 		if err != nil {
-			// Transport failure: the replica never answered. Feed the
-			// breaker and try the next successor — the request was not
-			// processed, so moving it cannot lose or duplicate claims.
 			if p.OnFailure != nil {
 				p.OnFailure(node)
 			}
+			if delivered {
+				// The request was fully handed to the replica before the
+				// failure: it may have verified the claims and booked their
+				// fees, and only the response was lost. Retrying on a
+				// successor would duplicate that work, so this is an error,
+				// never a failover.
+				return Result{}, fmt.Errorf("replica %s: %v: %w", node, err, ErrAfterDelivery)
+			}
+			// Pre-delivery transport failure: the replica never received the
+			// request. Feed the breaker and try the next successor — the
+			// request was not processed, so moving it cannot lose or
+			// duplicate claims.
 			lastErr = fmt.Errorf("replica %s: %w", node, err)
 			if ctx.Err() != nil {
 				return Result{}, lastErr
@@ -113,21 +133,48 @@ func (p *Proxy) Do(ctx context.Context, key []byte, path string, body []byte) (R
 	return Result{}, fmt.Errorf("shard: all %d replica(s) failed, last: %w", len(nodes), lastErr)
 }
 
-// forward issues one POST to one replica.
-func (p *Proxy) forward(ctx context.Context, client *http.Client, node, path string, body []byte) (Result, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.BaseURL(node)+path, bytes.NewReader(body))
+// deliveryTracker wraps a request body so forward can tell whether the
+// transport finished writing the request before a failure. It deliberately
+// exposes only Read: handing net/http a plain io.Reader (not *bytes.Reader)
+// keeps it from deriving GetBody, so the transport cannot silently replay
+// the request on its own — delivery accounting stays with the proxy.
+type deliveryTracker struct {
+	r    *bytes.Reader
+	sent atomic.Bool
+}
+
+func (d *deliveryTracker) Read(p []byte) (int, error) {
+	n, err := d.r.Read(p)
+	if err == io.EOF {
+		// The transport drained the body: the request was fully written to
+		// the wire, so the replica may be processing it.
+		d.sent.Store(true)
+	}
+	return n, err
+}
+
+// forward issues one POST to one replica. delivered reports whether the
+// request reached the replica before any failure: true once the request body
+// was fully written to the wire or a response status arrived (the replica
+// necessarily read the request to answer), so any later error — connection
+// dying mid-response, body read failing — happened after the replica may
+// have started verifying.
+func (p *Proxy) forward(ctx context.Context, client *http.Client, node, path string, body []byte) (res Result, delivered bool, err error) {
+	tracker := &deliveryTracker{r: bytes.NewReader(body)}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.BaseURL(node)+path, tracker)
 	if err != nil {
-		return Result{}, err
+		return Result{}, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.ContentLength = int64(len(body))
 	resp, err := client.Do(req)
 	if err != nil {
-		return Result{}, err
+		return Result{}, tracker.sent.Load(), err
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyResponseBytes))
 	if err != nil {
-		return Result{}, err
+		return Result{}, true, err
 	}
-	return Result{Node: node, Status: resp.StatusCode, Body: b}, nil
+	return Result{Node: node, Status: resp.StatusCode, Body: b}, true, nil
 }

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -145,6 +146,129 @@ func TestProxyDrainRehash(t *testing.T) {
 	res, err = p.Do(context.Background(), key, "/v1/verify", nil)
 	if err != nil || res.Status != http.StatusServiceUnavailable {
 		t.Fatalf("all-draining = %+v err=%v, want relayed 503", res, err)
+	}
+}
+
+// killingReplica consumes the full request body — so the serve layer on a
+// real replica would have admitted and verified the claims — then hijacks the
+// connection and kills it without answering. This is the post-delivery
+// failure window: the work happened, only the response was lost.
+type killingReplica struct {
+	ts        *httptest.Server
+	mu        sync.Mutex
+	processed int
+}
+
+func (k *killingReplica) count() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.processed
+}
+
+func newKillingReplica(t *testing.T) *killingReplica {
+	t.Helper()
+	k := &killingReplica{}
+	k.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		io.Copy(io.Discard, req.Body) // the replica received everything
+		k.mu.Lock()
+		k.processed++
+		k.mu.Unlock()
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		conn.Close() // die before writing any response
+	}))
+	t.Cleanup(k.ts.Close)
+	return k
+}
+
+// A replica that consumes the request and then dies must NOT be failed over:
+// it may have verified the claims and booked their fees, so a retry on the
+// ring successor would re-run the work and double-bill it. The proxy
+// surfaces ErrAfterDelivery instead; the successor is never contacted.
+func TestProxyNoRetryAfterDelivery(t *testing.T) {
+	killer := newKillingReplica(t)
+	successor := newReplicaStub(t, "b")
+	ring := NewRing(16)
+	ring.Add("a")
+	ring.Add("b")
+	urls := map[string]string{"a": killer.ts.URL, "b": successor.ts.URL}
+	var failed []string
+	p := &Proxy{
+		Ring:      ring,
+		BaseURL:   func(n string) string { return urls[n] },
+		Client:    http.DefaultClient,
+		OnFailure: func(n string) { failed = append(failed, n) },
+	}
+
+	// Find a key owned by the killing replica so the failover order is
+	// killer-then-successor.
+	var key []byte
+	for i := 0; ; i++ {
+		key = Fingerprint("cfg", "doc", string(rune('0'+i%10)), string(rune('a'+i/10)))
+		if owner, _ := ring.Assign(key); owner == "a" {
+			break
+		}
+	}
+
+	_, err := p.Do(context.Background(), key, "/v1/verify", []byte(`{"claims":[{"sentence":"s","value":"v"}]}`))
+	if err == nil {
+		t.Fatal("post-delivery connection kill: want an error, got success")
+	}
+	if !errors.Is(err, ErrAfterDelivery) {
+		t.Fatalf("error = %v, want ErrAfterDelivery", err)
+	}
+	if got := killer.count(); got != 1 {
+		t.Fatalf("owner processed the request %d times, want exactly 1 (no proxy- or transport-level replay)", got)
+	}
+	if got := successor.served(); got != 0 {
+		t.Fatalf("successor served %d request(s), want 0 — retrying delivered work duplicates claims and fees", got)
+	}
+	// The dead-after-delivery replica still feeds the breaker: it is sick,
+	// even though its work must not move.
+	if len(failed) != 1 || failed[0] != "a" {
+		t.Fatalf("failures reported = %v, want exactly the delivered-to replica", failed)
+	}
+}
+
+// A connection dying mid-response (status delivered, body truncated) is also
+// post-delivery: the response was underway, so the work is done and must not
+// be re-run on a successor.
+func TestProxyNoRetryOnTruncatedResponse(t *testing.T) {
+	var truncated *httptest.Server
+	truncated = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		io.Copy(io.Discard, req.Body)
+		w.Header().Set("Content-Length", "1024")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("partial"))
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	defer truncated.Close()
+	successor := newReplicaStub(t, "b")
+	ring := NewRing(16)
+	ring.Add("a")
+	ring.Add("b")
+	urls := map[string]string{"a": truncated.URL, "b": successor.ts.URL}
+	p := &Proxy{Ring: ring, BaseURL: func(n string) string { return urls[n] }, Client: http.DefaultClient}
+
+	var key []byte
+	for i := 0; ; i++ {
+		key = Fingerprint("trunc", "doc", string(rune('0'+i%10)), string(rune('a'+i/10)))
+		if owner, _ := ring.Assign(key); owner == "a" {
+			break
+		}
+	}
+	_, err := p.Do(context.Background(), key, "/v1/verify", []byte("req"))
+	if !errors.Is(err, ErrAfterDelivery) {
+		t.Fatalf("truncated response error = %v, want ErrAfterDelivery", err)
+	}
+	if got := successor.served(); got != 0 {
+		t.Fatalf("successor served %d request(s) after a truncated response, want 0", got)
 	}
 }
 

@@ -109,6 +109,15 @@ const (
 	// are the cross-topology identity surface.
 	KindShardRoute    = "shard_route"
 	KindShardFailover = "shard_failover"
+	// Streaming events recorded by the incremental pipeline (DESIGN.md §14):
+	// KindStreamAdmit marks one document's admission into the bounded
+	// in-flight window (Detail carries the arrival ordinal), KindStreamResult
+	// marks its verdicts being emitted. Both depend on arrival order — the
+	// same corpus streamed in a different order produces different stream
+	// spans — so ReplayNormalize drops them: verification spans, not arrival
+	// spans, are the stream-vs-batch identity surface.
+	KindStreamAdmit  = "stream_admit"
+	KindStreamResult = "stream_result"
 )
 
 // Outcome values for KindAttempt and KindOutcome spans. Transport-error
@@ -240,6 +249,13 @@ func (t *Tracer) Spans() []Span {
 	return out
 }
 
+// SortSpans restores canonical order — attempt identity, then per-key
+// sequence — over a span slice, e.g. after merging per-run or per-replica
+// streams.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Less(spans[j]) })
+}
+
 // WriteJSONL serializes the canonical sorted span stream, one JSON object
 // per line — the -trace export format.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
@@ -271,6 +287,10 @@ func (t *Tracer) Summary() Summary {
 //   - shard_route and shard_failover spans are dropped — routing is a
 //     property of the serving topology, not of the verification work, and the
 //     sharded-identity harness compares traces across shard counts;
+//   - stream_admit and stream_result spans are dropped — arrival order is a
+//     property of how documents were submitted, not of the verification work,
+//     and the stream-determinism gate compares streamed traces against batch
+//     runs;
 //   - per-key Seq is renumbered over what remains, since dropped and
 //     rewritten spans consumed sequence slots.
 //
@@ -283,7 +303,8 @@ func ReplayNormalize(spans []Span) []Span {
 	seq := make(map[Key]int, 64)
 	for _, s := range spans {
 		switch s.Kind {
-		case KindCacheHit, KindCacheWait, KindMemoMismatch, KindShardRoute, KindShardFailover:
+		case KindCacheHit, KindCacheWait, KindMemoMismatch, KindShardRoute, KindShardFailover,
+			KindStreamAdmit, KindStreamResult:
 			continue
 		case KindPersistHit:
 			s.Kind = KindAttempt

@@ -239,6 +239,9 @@ func TestReplayNormalize(t *testing.T) {
 		{Key: other, Seq: 1, Kind: KindMemoMismatch, Outcome: OutcomeError},
 		{Key: other, Seq: 2, Kind: KindPersistHit, Model: "m", Fee: 0.5, Outcome: OutcomeOK},
 		{Key: other, Seq: 3, Kind: KindOutcome, Outcome: OutcomeVerified},
+		// Arrival-order noise from a streamed run: dropped like routing spans.
+		{Key: Key{Doc: "d", Method: "stream"}, Seq: 0, Kind: KindStreamAdmit, Detail: "arrival=3"},
+		{Key: Key{Doc: "d", Method: "stream"}, Seq: 1, Kind: KindStreamResult},
 	}
 	nc, nw := ReplayNormalize(cold), ReplayNormalize(warm)
 	if len(nc) != 4 || len(nw) != 4 {

@@ -1,0 +1,35 @@
+package verify
+
+import "repro/internal/claim"
+
+// Disagreement scores how much the verification methods disagreed about one
+// claim's verdict, in [0, 1] — the ambiguity signal the mixed-initiative
+// review queue (internal/review, DESIGN.md §14) ranks by, following the
+// Scrutinizer model of routing effort to the verdicts a human is most likely
+// to overturn.
+//
+// The score is a pure function of the claim's Result, so it is as
+// deterministic as the verdict itself:
+//
+//   - a transport-failed claim (method "failed") scores 1.0 — no method ever
+//     reached a verdict, the default is pure guesswork;
+//   - a semantically exhausted claim (method "unverified") scores 0.9 —
+//     every translation the schedule paid for was implausible, so the verdict
+//     rests on the plausibility gate alone;
+//   - a claim verified only after multiple attempts scores 1 - 1/attempts —
+//     earlier methods implicitly disagreed with the one that succeeded
+//     (2 attempts → 0.5, 3 → 0.67, approaching 1 as disagreement grows);
+//   - a claim verified on the first attempt scores 0 — the methods agreed,
+//     nothing to review.
+func Disagreement(r claim.Result) float64 {
+	switch {
+	case r.Method == claim.MethodFailed:
+		return 1
+	case r.Method == claim.MethodUnverified:
+		return 0.9
+	case r.Attempts > 1:
+		return 1 - 1/float64(r.Attempts)
+	default:
+		return 0
+	}
+}

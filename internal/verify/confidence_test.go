@@ -1,0 +1,45 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/claim"
+)
+
+// TestDisagreementScores pins the triage signal the review queue ranks by:
+// a pure function of the claim's Result, so every replica scores an
+// identical verdict identically.
+func TestDisagreementScores(t *testing.T) {
+	cases := []struct {
+		name string
+		r    claim.Result
+		want float64
+	}{
+		{"transport failure is pure guesswork", claim.Result{Method: claim.MethodFailed, Attempts: 2, Failure: "timeout"}, 1},
+		{"semantic exhaustion rests on the gate alone", claim.Result{Method: claim.MethodUnverified, Attempts: 3}, 0.9},
+		{"second-attempt verdict splits the methods", claim.Result{Method: "oneshot-gpt4", Attempts: 2, Verified: true}, 0.5},
+		{"third-attempt verdict", claim.Result{Method: "multistep-gpt4", Attempts: 3, Verified: true}, 1 - 1.0/3},
+		{"first-attempt verdict is unanimous", claim.Result{Method: "oneshot-gpt3.5", Attempts: 1, Verified: true}, 0},
+		{"zero-value result has nothing to review", claim.Result{}, 0},
+	}
+	for _, tc := range cases {
+		if got := Disagreement(tc.r); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Disagreement(%+v) = %v, want %v", tc.name, tc.r, got, tc.want)
+		}
+	}
+	// The score is bounded and monotone in attempts for verified claims:
+	// more spent attempts means more implicit disagreement, approaching but
+	// never reaching a failed claim's certainty of ambiguity.
+	prev := -1.0
+	for attempts := 1; attempts <= 64; attempts++ {
+		got := Disagreement(claim.Result{Method: "oneshot-gpt4", Attempts: attempts, Verified: true})
+		if got < 0 || got >= 1 {
+			t.Fatalf("Disagreement at %d attempts = %v, want in [0, 1)", attempts, got)
+		}
+		if got <= prev && attempts > 1 {
+			t.Fatalf("Disagreement not monotone: %v at %d attempts after %v", got, attempts, prev)
+		}
+		prev = got
+	}
+}
