@@ -5,16 +5,18 @@
 # sweep + cross-process determinism), the SQL differential gate (vectorized
 # executor vs row oracle + plan-cache stress), the sharded-serving gate
 # (multi-replica determinism + failover), the streaming gate (stream-vs-batch
-# determinism, review queue, failover duplicate-work regression), and a
-# short fuzz smoke over the SQL parser/executor, the store's segment
-# decoder, and the shard ring.
+# determinism, review queue, failover duplicate-work regression), the
+# ingestion gate (dataset onboarding: type inference, sampling determinism,
+# cross-topology verdict identity), and a short fuzz smoke over the SQL
+# parser/executor, the store's segment decoder, the shard ring, and the
+# ingestion type-inference engine.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build vet test race chaos trace store sqldiff shard stream fuzz-smoke doclint bench
+.PHONY: check build vet test race chaos trace store sqldiff shard stream ingest fuzz-smoke doclint bench
 
-check: build vet race chaos trace store sqldiff shard stream fuzz-smoke doclint
+check: build vet race chaos trace store sqldiff shard stream ingest fuzz-smoke doclint
 
 build:
 	$(GO) build ./...
@@ -92,6 +94,17 @@ stream:
 	$(GO) test -race -run 'Stream|Review|AfterDelivery|Delivered|Disagreement|Disconnect|SlowClient' \
 		./internal/serve ./internal/review ./internal/shard ./internal/verify ./cedar ./cmd/cedar-serve ./internal/exp
 
+# Ingestion gate under the race detector (DESIGN.md §15, docs/DATA.md): the
+# CSV/NDJSON/JSON parser and type-inference suites, the deterministic
+# reservoir sampler, dataset persistence round-trips (encode/decode, store
+# restart, base-table protection), the CLI's ingest→verify cold/warm
+# bit-identity, the serving tier's /v1/datasets handlers and coordinator
+# fan-out (direct run vs single replica vs 4-shard coordinator verdict
+# identity), and the ingestbench accounting invariants.
+ingest:
+	$(GO) test -race -run 'Ingest|Dataset|Registry|Surface|Classify|CleanColumn' \
+		./internal/ingest ./cmd/cedar ./cmd/cedar-serve ./internal/exp
+
 # Each fuzz target gets a short exploratory burst on top of its seed corpus
 # (the seeds alone already run as part of `go test`).
 fuzz-smoke:
@@ -101,6 +114,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzPlanCacheKey$$ -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run NONE -fuzz FuzzStoreDecode$$ -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run NONE -fuzz FuzzRingAssign$$ -fuzztime $(FUZZTIME) ./internal/shard
+	$(GO) test -run NONE -fuzz FuzzTypeInference$$ -fuzztime $(FUZZTIME) ./internal/ingest
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -493,6 +493,11 @@ func (s *System) Close() error {
 	return st.Close()
 }
 
+// Store exposes the persistent store (nil without Options.CacheDir) so
+// callers can share it — the dataset registry persists ingested catalogs
+// into the same store under its own key prefix.
+func (s *System) Store() *store.Store { return s.store }
+
 // StoreStats snapshots the persistent store's activity counters (zero Stats
 // without Options.CacheDir).
 func (s *System) StoreStats() store.Stats {

@@ -20,6 +20,7 @@
 //	storebench persistent store — cold vs warm fees, calls, and hit rate
 //	sqlbench   SQL engine — vectorized executor vs row oracle, plan cache cold vs warm
 //	streambench streamed vs batched delivery — time-to-first-verdict and claims/sec
+//	ingestbench dataset onboarding — CSV/NDJSON ingest throughput, sampling, surface quality
 //	all        run everything above
 package main
 
@@ -88,6 +89,9 @@ func experiments() []experiment {
 		{"streambench", "Streamed vs batched delivery: time-to-first-verdict and sustained claims/sec", func(s int64, w int) (result, error) {
 			return exp.StreamBench(s, w)
 		}},
+		{"ingestbench", "Dataset onboarding: CSV/NDJSON ingest throughput, sampling, and surface verification quality", func(s int64, w int) (result, error) {
+			return exp.IngestBench(s, w)
+		}},
 	}
 }
 
@@ -108,6 +112,7 @@ type benchOptions struct {
 	SQLJSON      string
 	ShardJSON    string
 	StreamJSON   string
+	IngestJSON   string
 }
 
 // defineFlags registers the binary's flags on fs, bound to the returned
@@ -130,6 +135,7 @@ func defineFlags(fs *flag.FlagSet) *benchOptions {
 	fs.StringVar(&o.SQLJSON, "sqlbench-json", "", "write the sqlbench result as JSON to this file (e.g. BENCH_sql.json)")
 	fs.StringVar(&o.ShardJSON, "shard-json", "", "write the shardbench result as JSON to this file (e.g. BENCH_shard.json)")
 	fs.StringVar(&o.StreamJSON, "stream-json", "", "write the streambench result as JSON to this file (e.g. BENCH_stream.json)")
+	fs.StringVar(&o.IngestJSON, "ingest-json", "", "write the ingestbench result as JSON to this file (e.g. BENCH_ingest.json)")
 	return o
 }
 
@@ -166,7 +172,7 @@ func main() {
 		os.Exit(2)
 	}
 	ran, err := runExperiments(os.Stdout, flag.Arg(0), o.Seed, o.Workers, o.AsCSV,
-		map[string]string{"storebench": o.StoreJSON, "sqlbench": o.SQLJSON, "shardbench": o.ShardJSON, "streambench": o.StreamJSON})
+		map[string]string{"storebench": o.StoreJSON, "sqlbench": o.SQLJSON, "shardbench": o.ShardJSON, "streambench": o.StreamJSON, "ingestbench": o.IngestJSON})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-bench:", err)
 		os.Exit(1)
@@ -209,7 +215,7 @@ func exportTrace(tracer *trace.Tracer, path string, summary bool, seed int64, wo
 
 // jsonResult is implemented by results with a machine-readable JSON artifact
 // (storebench via -store-json, sqlbench via -sqlbench-json, shardbench via
-// -shard-json, streambench via -stream-json).
+// -shard-json, streambench via -stream-json, ingestbench via -ingest-json).
 type jsonResult interface{ JSON() ([]byte, error) }
 
 // runExperiments executes every experiment matching want ("all" matches

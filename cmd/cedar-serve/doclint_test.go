@@ -44,6 +44,10 @@ func TestDoclintRoutes(t *testing.T) {
 		"POST /v1/verify/stream",
 		"GET /v1/review",
 		"POST /v1/review/{id}",
+		"POST /v1/datasets",
+		"GET /v1/datasets",
+		"GET /v1/datasets/{name}",
+		"DELETE /v1/datasets/{name}",
 		"GET /v1/status",
 		"GET /v1/metrics",
 		"GET /healthz",

@@ -14,6 +14,10 @@
 //	POST /v1/verify/stream  NDJSON documents in, streamed verdicts out
 //	GET  /v1/review         pending human-review queue, ranked
 //	POST /v1/review/{id}    record a human resolution for one review item
+//	POST   /v1/datasets        ingest a CSV/JSON dataset into the catalog
+//	GET    /v1/datasets        list ingested datasets
+//	GET    /v1/datasets/{name} one dataset's schema, budget, and surface
+//	DELETE /v1/datasets/{name} remove an ingested dataset
 //	GET  /v1/status         serving state and queue depth
 //	GET  /v1/metrics        request, verification, and resilience counters
 //	GET  /healthz           liveness (503 while draining)
@@ -55,16 +59,19 @@ import (
 	"repro/cedar"
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/serve"
 	"repro/internal/shard"
+	"repro/internal/sqldb"
 	"repro/internal/trace"
 )
 
 // serveOptions carries the parsed command line into run.
 type serveOptions struct {
 	CSVPaths  []string
+	Datasets  []string
 	TableName string
 	Addr      string
 	Target    float64
@@ -89,6 +96,9 @@ type serveOptions struct {
 
 	CacheDir string
 
+	SampleRows     int
+	MaxIngestBytes int64
+
 	Coordinator   bool
 	Replicas      []string
 	ReplicaOf     string
@@ -104,6 +114,7 @@ func defineFlags(fs *flag.FlagSet) *serveOptions {
 	o := &serveOptions{}
 	sr := exp.ServingResilience()
 	fs.Var((*cliutil.CSVList)(&o.CSVPaths), "csv", "CSV data table (header row first); repeat for multi-table databases")
+	fs.Var((*cliutil.CSVList)(&o.Datasets), "dataset", "ingested dataset to load from -cache-dir at startup (see cedar ingest and docs/DATA.md); repeatable")
 	fs.StringVar(&o.TableName, "table", "", "table name for a single CSV (default: file base name)")
 	fs.StringVar(&o.Addr, "addr", ":8080", "listen address")
 	fs.Float64Var(&o.Target, "target", 0.99, "accuracy target in (0,1]")
@@ -123,7 +134,9 @@ func defineFlags(fs *flag.FlagSet) *serveOptions {
 	fs.DurationVar(&o.HedgeAfter, "hedge", sr.HedgeAfter, "race a backup model call once the primary exceeds this simulated latency; 0 disables")
 	fs.IntVar(&o.Breaker, "breaker", 0, "trip a per-model circuit breaker after N consecutive failures; 0 disables (order-dependent, see DESIGN.md §9)")
 	fs.Float64Var(&o.FaultRate, "fault-rate", 0, "inject deterministic transport faults at this per-attempt probability (chaos testing)")
-	fs.StringVar(&o.CacheDir, "cache-dir", "", "persist temperature-0 completions and verdict memos in this directory; restarts answer repeated work at zero fee (DESIGN.md §11)")
+	fs.StringVar(&o.CacheDir, "cache-dir", "", "persist temperature-0 completions and verdict memos in this directory; restarts answer repeated work at zero fee (DESIGN.md §11). Datasets ingested via POST /v1/datasets persist here too")
+	fs.IntVar(&o.SampleRows, "sample-rows", 0, "default row budget for POST /v1/datasets ingestions: keep at most N rows, reservoir-sampled deterministically (default 50000)")
+	fs.Int64Var(&o.MaxIngestBytes, "max-ingest-bytes", 0, "default byte budget for POST /v1/datasets ingestions, stopping at the last complete record (default 32 MiB)")
 	fs.BoolVar(&o.Coordinator, "coordinator", false, "run as a sharding coordinator: route requests to the -replicas processes instead of verifying locally (DESIGN.md §13)")
 	fs.Var((*cliutil.URLList)(&o.Replicas), "replicas", "replica base URL for -coordinator mode; repeat (or comma-separate) for more")
 	fs.StringVar(&o.ReplicaOf, "replica-of", "", "coordinator base URL this replica registers with on startup and deregisters from when draining")
@@ -134,7 +147,7 @@ func defineFlags(fs *flag.FlagSet) *serveOptions {
 func main() {
 	o := defineFlags(flag.CommandLine)
 	flag.Parse()
-	if len(o.CSVPaths) == 0 {
+	if len(o.CSVPaths) == 0 && len(o.Datasets) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -160,7 +173,7 @@ func newServer(o *serveOptions) (*serve.Server, func() error, error) {
 // harvest each replica's full verification trace for cross-topology
 // comparison.
 func newServerSink(o *serveOptions, sink func([]trace.Span)) (*serve.Server, func() error, error) {
-	db, dbName, err := cliutil.LoadDatabase(o.CSVPaths, o.TableName)
+	db, dbName, err := loadServeDatabase(o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -205,6 +218,27 @@ func newServerSink(o *serveOptions, sink func([]trace.Span)) (*serve.Server, fun
 			return nil, nil, err
 		}
 	}
+	// The dataset registry shares the System's persistent store (when
+	// -cache-dir is set), so ingested catalogs survive restarts; named
+	// -dataset flags restore persisted datasets into the catalog before the
+	// first request, recording each sampling decision in the trace.
+	reg := ingest.NewRegistry(db, sys.Store(), ingest.Options{
+		SampleRows: o.SampleRows,
+		MaxBytes:   o.MaxIngestBytes,
+		Seed:       o.Seed,
+	})
+	for _, name := range o.Datasets {
+		ds, err := reg.LoadDataset(name)
+		if err != nil {
+			sys.Close()
+			return nil, nil, err
+		}
+		tracer.Record(trace.Span{
+			Key:    trace.Key{Doc: dbName, Method: "ingest"},
+			Kind:   trace.KindIngestSample,
+			Detail: ds.Info.SampleDetail(),
+		})
+	}
 	backend := serve.BackendFunc(func(docs []*cedar.Document) (serve.RunStats, error) {
 		rep, err := sys.Verify(docs)
 		if err != nil {
@@ -229,12 +263,31 @@ func newServerSink(o *serveOptions, sink func([]trace.Span)) (*serve.Server, fun
 		Schedule:       sys.Schedule(),
 		Resilience:     func() metrics.ResilienceSnapshot { return sys.Resilience() },
 		Tracer:         tracer,
+		Datasets:       reg,
 	})
 	if err != nil {
 		sys.Close()
 		return nil, nil, err
 	}
 	return srv, sys.Close, nil
+}
+
+// loadServeDatabase builds the serving database: the -csv tables when
+// given, otherwise an empty catalog named for -table or the first -dataset
+// (the persisted datasets themselves load after the System exists, through
+// the registry sharing its store).
+func loadServeDatabase(o *serveOptions) (*sqldb.Database, string, error) {
+	if len(o.CSVPaths) > 0 {
+		return cliutil.LoadDatabase(o.CSVPaths, o.TableName)
+	}
+	name := o.TableName
+	if name == "" {
+		if len(o.Datasets) == 0 {
+			return nil, "", fmt.Errorf("one of -csv, -dataset, or -table is required")
+		}
+		name = o.Datasets[0]
+	}
+	return sqldb.NewDatabase(name), name, nil
 }
 
 // routeKeyFor builds the coordinator's shard key function: the claim/config
@@ -262,7 +315,7 @@ func newCoordinator(o *serveOptions) (*serve.Coordinator, error) {
 	if len(o.Replicas) == 0 {
 		return nil, fmt.Errorf("-coordinator requires at least one -replicas URL")
 	}
-	_, dbName, err := cliutil.LoadDatabase(o.CSVPaths, o.TableName)
+	_, dbName, err := loadServeDatabase(o)
 	if err != nil {
 		return nil, err
 	}

@@ -26,3 +26,21 @@ func TestDoclintFlags(t *testing.T) {
 		t.Errorf("flags undocumented in docs/CLI.md: -%s", strings.Join(missing, ", -"))
 	}
 }
+
+// The ingest subcommand has its own docs/CLI.md section; every flag
+// defineIngestFlags registers must appear there.
+func TestDoclintIngestFlags(t *testing.T) {
+	doc, err := doclint.CLIDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("cedar ingest", flag.ContinueOnError)
+	defineIngestFlags(fs)
+	missing, err := doclint.MissingFlags(doc, "cedar ingest", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("ingest flags undocumented in docs/CLI.md: -%s", strings.Join(missing, ", -"))
+	}
+}

@@ -6,6 +6,11 @@
 //
 //	cedar -csv data.csv -table airlines -claims claims.json [-target 0.99] [-seed 1] [-workers 4] [-json]
 //
+// Your own datasets onboard through the ingest subcommand (docs/DATA.md):
+//
+//	cedar ingest sales.csv -table sales -cache-dir cache -claims-out claims.json
+//	cedar -dataset sales -claims claims.json -cache-dir cache
+//
 // The claims file holds an array of objects:
 //
 //	[{"id": "c1",
@@ -48,6 +53,7 @@ type claimOutput struct {
 func defineFlags(fs *flag.FlagSet) *runOptions {
 	o := &runOptions{}
 	fs.Var((*cliutil.CSVList)(&o.CSVPaths), "csv", "CSV data table (header row first); repeat for multi-table databases")
+	fs.Var((*cliutil.CSVList)(&o.Datasets), "dataset", "ingested dataset to load from -cache-dir (see cedar ingest and docs/DATA.md); repeatable")
 	fs.StringVar(&o.TableName, "table", "", "table name for a single CSV (default: file base name)")
 	fs.StringVar(&o.ClaimsPath, "claims", "", "JSON file with the claims to verify")
 	fs.Float64Var(&o.Target, "target", 0.99, "accuracy target in (0,1]")
@@ -68,9 +74,16 @@ func defineFlags(fs *flag.FlagSet) *runOptions {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "ingest" {
+		if err := runIngest(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "cedar ingest:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	o := defineFlags(flag.CommandLine)
 	flag.Parse()
-	if len(o.CSVPaths) == 0 || o.ClaimsPath == "" {
+	if (len(o.CSVPaths) == 0 && len(o.Datasets) == 0) || o.ClaimsPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -83,6 +96,7 @@ func main() {
 // runOptions carries the parsed command line into run.
 type runOptions struct {
 	CSVPaths     []string
+	Datasets     []string
 	TableName    string
 	ClaimsPath   string
 	Target       float64
@@ -102,9 +116,32 @@ type runOptions struct {
 }
 
 func run(o runOptions) error {
-	db, dbName, err := cliutil.LoadDatabase(o.CSVPaths, o.TableName)
-	if err != nil {
-		return err
+	var tracer *cedar.Tracer
+	if o.TracePath != "" || o.TraceSummary {
+		tracer = cedar.NewTracer()
+	}
+
+	var db *cedar.Database
+	var dbName string
+	var err error
+	if len(o.CSVPaths) > 0 {
+		db, dbName, err = cliutil.LoadDatabase(o.CSVPaths, o.TableName)
+		if err != nil {
+			return err
+		}
+	} else {
+		// Dataset-only run: the first dataset names the database (and the
+		// seeding document ID), matching what cedar ingest registered.
+		dbName = o.TableName
+		if dbName == "" {
+			dbName = o.Datasets[0]
+		}
+		db = cedar.NewDatabase(dbName)
+	}
+	if len(o.Datasets) > 0 {
+		if _, err := loadDatasets(db, o.CacheDir, o.Datasets, tracer); err != nil {
+			return err
+		}
 	}
 
 	raw, err := os.ReadFile(o.ClaimsPath)
@@ -127,10 +164,6 @@ func run(o runOptions) error {
 		doc.Claims = append(doc.Claims, c)
 	}
 
-	var tracer *cedar.Tracer
-	if o.TracePath != "" || o.TraceSummary {
-		tracer = cedar.NewTracer()
-	}
 	sys, err := cedar.New(cedar.Options{
 		Seed:             o.Seed,
 		AccuracyTarget:   o.Target,

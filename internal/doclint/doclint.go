@@ -39,17 +39,23 @@ func RepoRoot() (string, error) {
 	}
 }
 
-// CLIDoc reads docs/CLI.md from the repository root.
-func CLIDoc() (string, error) {
+// Doc reads a markdown file, given slash-relative to the repository root
+// (e.g. "docs/DATA.md").
+func Doc(rel string) (string, error) {
 	root, err := RepoRoot()
 	if err != nil {
 		return "", err
 	}
-	raw, err := os.ReadFile(filepath.Join(root, "docs", "CLI.md"))
+	raw, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(rel)))
 	if err != nil {
-		return "", fmt.Errorf("doclint: reading flag reference: %w", err)
+		return "", fmt.Errorf("doclint: reading %s: %w", rel, err)
 	}
 	return string(raw), nil
+}
+
+// CLIDoc reads docs/CLI.md from the repository root.
+func CLIDoc() (string, error) {
+	return Doc("docs/CLI.md")
 }
 
 // BinarySection extracts the named binary's section of docs/CLI.md: from

@@ -23,6 +23,35 @@ func TestDoclintPackageComments(t *testing.T) {
 	}
 }
 
+// TestDoclintDataJourney keeps the dataset-onboarding journey in
+// docs/DATA.md tied to the surfaces it walks through: if a rename drops
+// one of these from the page, the journey is no longer reproducible from
+// the docs alone and this gate fails.
+func TestDoclintDataJourney(t *testing.T) {
+	doc, err := Doc("docs/DATA.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, surface := range []string{
+		"cedar ingest",
+		"`-dataset",
+		"`-cache-dir`",
+		"`-claims-out`",
+		"`-sample-rows`",
+		"`-max-ingest-bytes`",
+		"POST /v1/datasets",
+		"DELETE /v1/datasets",
+		"fingerprint",
+		"reservoir",
+		// The inference table must name every column type the engine infers.
+		"int", "float", "bool", "date", "string",
+	} {
+		if !strings.Contains(doc, surface) {
+			t.Errorf("docs/DATA.md no longer mentions %q", surface)
+		}
+	}
+}
+
 func TestRepoRootFindsGoMod(t *testing.T) {
 	root, err := RepoRoot()
 	if err != nil {

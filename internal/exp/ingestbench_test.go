@@ -1,0 +1,68 @@
+package exp
+
+import "testing"
+
+// The onboarding benchmark must be deterministic per seed: every re-ingest
+// reproduces its fingerprint, and the verification phase flags exactly the
+// falsified half it was given (the surface claims are generated true).
+func TestIngestBenchSmall(t *testing.T) {
+	res, err := ingestBenchSized(17, 2, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllStable {
+		t.Error("re-ingest fingerprints diverged")
+	}
+	if len(res.Configs) != 4 {
+		t.Fatalf("got %d configs, want 4", len(res.Configs))
+	}
+	for _, row := range res.Configs {
+		if row.RowsTotal != 600 {
+			t.Errorf("%s/%d scanned %d rows, want 600", row.Format, row.Budget, row.RowsTotal)
+		}
+		wantKept := 600
+		if row.Budget > 0 {
+			wantKept = row.Budget
+			if !row.Sampled {
+				t.Errorf("%s/%d did not sample", row.Format, row.Budget)
+			}
+		}
+		if row.RowsKept != wantKept {
+			t.Errorf("%s/%d kept %d rows, want %d", row.Format, row.Budget, row.RowsKept, wantKept)
+		}
+		if row.Claims == 0 {
+			t.Errorf("%s/%d generated no surface claims", row.Format, row.Budget)
+		}
+	}
+	// CSV and NDJSON carry the same records, so at equal budgets they keep
+	// the same number of rows and generate the same number of claims.
+	if res.Configs[0].Claims != res.Configs[2].Claims {
+		t.Errorf("csv surface %d claims, ndjson %d", res.Configs[0].Claims, res.Configs[2].Claims)
+	}
+	v := res.Verify
+	if v.Claims == 0 || v.Falsified == 0 || v.Falsified >= v.Claims {
+		t.Fatalf("verification phase: %d claims, %d falsified", v.Claims, v.Falsified)
+	}
+	if v.Cost.Calls == 0 {
+		t.Error("verification made no model calls")
+	}
+	if v.Quality.TP+v.Quality.FP+v.Quality.FN+v.Quality.TN+v.Quality.Failed != v.Claims {
+		t.Errorf("confusion matrix does not cover all claims: %+v", v.Quality)
+	}
+
+	// Stable across invocations: the whole result (modulo wall timings) must
+	// reproduce.
+	again, err := ingestBenchSized(17, 4, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Verify.Quality != res.Verify.Quality {
+		t.Errorf("verification quality diverged across runs:\n%+v\n%+v", res.Verify.Quality, again.Verify.Quality)
+	}
+	if _, err := res.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Render() == "" || res.CSV() == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -1,0 +1,79 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTypeInference throws adversarial CSV/JSON at the full ingestion path
+// and checks the invariants that matter downstream: no panics, every kept
+// row matches the final column set, inferred column types agree with the
+// stored sqldb kinds, and re-ingesting identical bytes reproduces the same
+// fingerprint (the determinism gates depend on that).
+func FuzzTypeInference(f *testing.F) {
+	f.Add("a,b\n1,2\n")
+	f.Add("\xEF\xBB\xBFa,b\n1,2,3\n4\n")
+	f.Add("x\n1\n2.5\nNaN\ntrue\n2024-01-02\n")
+	f.Add(`{"a":1}` + "\n" + `{"b":"x","a":2.5}` + "\n")
+	f.Add(`[{"k":null},{"k":[1,2]},{"k":{"n":1}}]`)
+	f.Add("col with space,\"quoted,comma\"\n\"multi\nline\",7\n")
+	f.Add(strings.Repeat("a", 1<<16) + ",b\n1,2\n")
+	f.Add("a,a,A\n1,2,3\n")
+	f.Add("{\"\\u0000\":1}\n")
+	f.Add("1e308,1e309,-0\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		for _, format := range []string{"auto", "csv", "ndjson", "json"} {
+			res, err := Ingest(strings.NewReader(data), Options{
+				Table:      "fuzz",
+				Format:     format,
+				SampleRows: 64,
+				MaxBytes:   1 << 16,
+			})
+			if err != nil {
+				continue
+			}
+			if res.Table == nil || len(res.Columns) == 0 {
+				t.Fatalf("format %s: nil table without error", format)
+			}
+			if len(res.Columns) != len(res.Table.Columns) {
+				t.Fatalf("format %s: %d infos vs %d columns", format, len(res.Columns), len(res.Table.Columns))
+			}
+			for _, row := range res.Table.Rows {
+				if len(row) != len(res.Table.Columns) {
+					t.Fatalf("format %s: row width %d, want %d", format, len(row), len(res.Table.Columns))
+				}
+				for i, v := range row {
+					if v.IsNull() {
+						continue
+					}
+					if want := res.Table.Columns[i].Type; v.Kind() != want {
+						// Mixed columns widen to TEXT storage, but every
+						// stored value must then be stringly classified.
+						t.Fatalf("format %s: col %s value kind %v under declared %v",
+							format, res.Table.Columns[i].Name, v.Kind(), want)
+					}
+				}
+			}
+			if res.RowsKept > 64 {
+				t.Fatalf("format %s: reservoir overflowed: %d rows", format, res.RowsKept)
+			}
+			again, err := Ingest(strings.NewReader(data), Options{
+				Table: "fuzz", Format: format, SampleRows: 64, MaxBytes: 1 << 16,
+			})
+			if err != nil {
+				t.Fatalf("format %s: second ingest failed after first succeeded: %v", format, err)
+			}
+			if again.Fingerprint != res.Fingerprint {
+				t.Fatalf("format %s: re-ingest fingerprint drifted", format)
+			}
+			// A decoded record must reproduce the catalog bit-identically.
+			dec, err := decodeDataset(encodeDataset(res))
+			if err != nil {
+				t.Fatalf("format %s: codec: %v", format, err)
+			}
+			if tableFingerprint(dec.Table) != res.Fingerprint {
+				t.Fatalf("format %s: codec round-trip changed the table", format)
+			}
+		}
+	})
+}

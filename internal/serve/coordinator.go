@@ -176,6 +176,7 @@ func (c *Coordinator) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/verify/stream", c.handleVerifyStream)
 	mux.HandleFunc("GET /v1/review", c.handleReviewList)
 	mux.HandleFunc("POST /v1/review/{id}", c.handleReviewResolve)
+	c.coordRoutesDatasets(mux)
 	mux.HandleFunc("GET /v1/status", c.handleStatus)
 	mux.HandleFunc("GET /v1/metrics", c.handleMetrics)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)

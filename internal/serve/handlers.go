@@ -24,6 +24,10 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/verify/stream", s.handleVerifyStream)
 	mux.HandleFunc("GET /v1/review", s.handleReviewList)
 	mux.HandleFunc("POST /v1/review/{id}", s.handleReviewResolve)
+	mux.HandleFunc("POST /v1/datasets", s.handleDatasetCreate)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDatasetDelete)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/claim"
+	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/review"
 	"repro/internal/sqldb"
@@ -123,6 +124,12 @@ type Config struct {
 	// resets it per run) to accumulate per-method attempt rollups for
 	// GET /v1/metrics.
 	Tracer *trace.Tracer
+	// Datasets is the ingested-dataset registry behind the /v1/datasets
+	// routes. When nil, New builds an in-memory registry over DB (datasets
+	// then live only as long as the process); cmd/cedar-serve passes one
+	// backed by the System's persistent store so ingested catalogs survive
+	// restarts.
+	Datasets *ingest.Registry
 }
 
 // Server is the cedar-serve HTTP handler plus its batching machinery. Build
@@ -177,6 +184,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.ReviewCap <= 0 {
 		cfg.ReviewCap = review.DefaultCap
+	}
+	if cfg.Datasets == nil {
+		cfg.Datasets = ingest.NewRegistry(cfg.DB, nil, ingest.Options{})
 	}
 	if cfg.RetryAfter <= 0 {
 		wait := cfg.BatchWait

@@ -120,18 +120,24 @@ type Database struct {
 	tables  map[string]*Table
 	order   []string
 	version uint64 // bumped on every catalog change; guards cached plans
+	// tableVers records, per (lowercased) table name, the catalog version at
+	// which that table last changed. Entries persist across RemoveTable (a
+	// removal is a change), so a plan compiled against a since-removed table
+	// can never read a stale stamp of zero.
+	tableVers map[string]uint64
 
 	plans planCache // parsed-plan / prepared-statement cache (stmt_cache.go)
 }
 
 // NewDatabase constructs an empty database.
 func NewDatabase(name string) *Database {
-	return &Database{Name: name, tables: make(map[string]*Table)}
+	return &Database{Name: name, tables: make(map[string]*Table), tableVers: make(map[string]uint64)}
 }
 
 // AddTable registers a table, replacing any previous table with the same
-// (case-insensitive) name. Any cached query plans are invalidated: they may
-// have bound column positions against the replaced schema.
+// (case-insensitive) name. Cached query plans that reference the table are
+// invalidated: they may have bound column positions against the replaced
+// schema. Plans over other tables stay cached.
 func (d *Database) AddTable(t *Table) {
 	d.mu.Lock()
 	key := strings.ToLower(t.Name)
@@ -140,8 +146,38 @@ func (d *Database) AddTable(t *Table) {
 	}
 	d.tables[key] = t
 	d.version++
+	if d.tableVers == nil {
+		d.tableVers = make(map[string]uint64)
+	}
+	d.tableVers[key] = d.version
 	d.mu.Unlock()
-	d.plans.flush()
+	d.plans.invalidate(key)
+}
+
+// RemoveTable drops the named table (case-insensitive) and invalidates
+// cached plans referencing it. It reports whether the table existed.
+func (d *Database) RemoveTable(name string) bool {
+	d.mu.Lock()
+	key := strings.ToLower(name)
+	if _, exists := d.tables[key]; !exists {
+		d.mu.Unlock()
+		return false
+	}
+	delete(d.tables, key)
+	for i, k := range d.order {
+		if k == key {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.version++
+	if d.tableVers == nil {
+		d.tableVers = make(map[string]uint64)
+	}
+	d.tableVers[key] = d.version
+	d.mu.Unlock()
+	d.plans.invalidate(key)
+	return true
 }
 
 // Table returns the named table (case-insensitive), or nil when absent.
@@ -159,17 +195,40 @@ func (d *Database) Version() uint64 {
 	return d.version
 }
 
-// snapshotTables resolves the named tables and the catalog version in one
-// atomic step, so a concurrent AddTable cannot hand an executor a table
-// whose schema differs from the plan it is about to run.
+// snapshotTables resolves the named tables and their combined change stamp
+// in one atomic step, so a concurrent AddTable cannot hand an executor a
+// table whose schema differs from the plan it is about to run. The stamp is
+// the maximum per-table version over names: it moves only when one of the
+// named tables changes, so churn on unrelated tables does not stale plans
+// compiled against this set.
 func (d *Database) snapshotTables(names []string) ([]*Table, uint64) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	out := make([]*Table, len(names))
+	var stamp uint64
 	for i, n := range names {
-		out[i] = d.tables[strings.ToLower(n)]
+		key := strings.ToLower(n)
+		out[i] = d.tables[key]
+		if v := d.tableVers[key]; v > stamp {
+			stamp = v
+		}
 	}
-	return out, d.version
+	return out, stamp
+}
+
+// stampFor returns the combined change stamp of the named tables: the
+// maximum catalog version at which any of them last changed (zero when none
+// ever existed). Names must already be lowercased.
+func (d *Database) stampFor(names []string) uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var stamp uint64
+	for _, n := range names {
+		if v := d.tableVers[n]; v > stamp {
+			stamp = v
+		}
+	}
+	return stamp
 }
 
 // Tables returns all tables in registration order.

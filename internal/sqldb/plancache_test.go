@@ -313,6 +313,111 @@ func TestPlanCacheConcurrentStress(t *testing.T) {
 	}
 }
 
+// TestPlanCacheSelectiveInvalidation is the regression test for the
+// ingestion fix: catalog churn on one table must evict only the cached plans
+// that reference it. Before the fix, any AddTable flushed the whole cache,
+// so every dataset ingestion cold-started every other table's hot queries.
+func TestPlanCacheSelectiveInvalidation(t *testing.T) {
+	db := diffDB()
+	stableQueries := []string{
+		`SELECT id, n FROM t1 WHERE id = 2 ORDER BY 2`,
+		`SELECT COUNT(*), SUM(n) FROM t1`,
+		`SELECT a.id, b.tag FROM t1 a JOIN t2 b ON a.id = b.id ORDER BY 1, 2`,
+	}
+	for _, q := range stableQueries {
+		if _, err := Query(db, q); err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+	}
+	entries := db.PlanCacheStats().Entries
+	if entries != len(stableQueries) {
+		t.Fatalf("Entries = %d, want %d", entries, len(stableQueries))
+	}
+
+	// Churn an unrelated table repeatedly: the stable entries must survive
+	// and keep hitting.
+	for i := 0; i < 5; i++ {
+		side := NewTable("ingested", "k", "v")
+		side.MustAppendRow(Int(int64(i)), Text("x"))
+		db.AddTable(side)
+	}
+	if got := db.PlanCacheStats().Entries; got != entries {
+		t.Fatalf("Entries = %d after unrelated churn, want %d (selective invalidation)", got, entries)
+	}
+	before := db.PlanCacheStats()
+	for _, q := range stableQueries {
+		if _, err := Query(db, q); err != nil {
+			t.Fatalf("warm %q: %v", q, err)
+		}
+	}
+	after := db.PlanCacheStats()
+	if got, want := after.Hits-before.Hits, uint64(len(stableQueries)); got != want {
+		t.Fatalf("unrelated churn broke warm hits: %d hits, want %d", got, want)
+	}
+
+	// Churning a referenced table drops exactly the entries that mention it
+	// — including the join — and leaves the rest.
+	if _, err := Query(db, `SELECT COUNT(*) FROM ingested`); err != nil {
+		t.Fatal(err)
+	}
+	t2 := NewTable("t2", "id", "v", "tag")
+	t2.MustAppendRow(Int(1), Float(1), Text("x"))
+	db.AddTable(t2)
+	st := db.PlanCacheStats()
+	// t1-only entries (2) plus the ingested entry survive; the t1⋈t2 join is gone.
+	if st.Entries != 3 {
+		t.Fatalf("Entries = %d after t2 churn, want 3", st.Entries)
+	}
+	res, err := Query(db, `SELECT a.id, b.tag FROM t1 a JOIN t2 b ON a.id = b.id ORDER BY 1, 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1 has four rows with id=1; the fresh t2 has exactly one matching row.
+	if len(res.Rows) != 4 {
+		t.Fatalf("recompiled join returned %d rows, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row[1].String() != "x" {
+			t.Fatalf("recompiled join read a stale t2 row: %v", row)
+		}
+	}
+
+	// RemoveTable also invalidates only its own entries, and queries against
+	// the removed table now fail like the row engine says they should.
+	db.RemoveTable("ingested")
+	if _, err := Query(db, `SELECT COUNT(*) FROM ingested`); err == nil {
+		t.Fatal("query against removed table succeeded")
+	}
+	before = db.PlanCacheStats()
+	for _, q := range stableQueries[:2] {
+		if _, err := Query(db, q); err != nil {
+			t.Fatalf("post-remove warm %q: %v", q, err)
+		}
+	}
+	after = db.PlanCacheStats()
+	if got, want := after.Hits-before.Hits, uint64(2); got != want {
+		t.Fatalf("RemoveTable broke unrelated warm hits: %d, want %d", got, want)
+	}
+
+	// A subquery reference counts: churning the inner table must stale the
+	// outer statement even though it scans only t1.
+	sub := `SELECT COUNT(*) FROM t1 WHERE id IN (SELECT id FROM t2 WHERE v > 0)`
+	first, err := Query(db, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2c := NewTable("t2", "id", "v", "tag")
+	t2c.MustAppendRow(Int(999), Float(1), Text("q"))
+	db.AddTable(t2c)
+	second, err := Query(db, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.String() == first.String() {
+		t.Fatalf("subquery result did not change after inner-table churn: %s", second.String())
+	}
+}
+
 // TestExplainQueryPushdown pins the explain surface the pushdown property
 // tests rely on: safe predicates push into scans, unsafe ones stay residual,
 // and the LEFT-join right side is never a push target.

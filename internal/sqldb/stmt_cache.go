@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -10,11 +11,13 @@ import (
 // keyed twice: by the raw query text (the fast path — a repeated query skips
 // the lexer and parser entirely) and by the normalized rendering of the
 // parsed statement (stmt.SQL()), so differently spelled but structurally
-// identical queries share one compiled plan. Entries carry the catalog
-// version they were compiled against; AddTable flushes the cache and bumps
-// the version, and a version mismatch at lookup or execution time forces
-// recompilation, so no query ever runs against a plan bound to a previous
-// schema. All operations are safe under concurrent verify workers.
+// identical queries share one compiled plan. Entries record the tables they
+// reference (including subqueries) and the combined change stamp of those
+// tables at compile time; AddTable/RemoveTable drop only the entries that
+// reference the changed table, and a stamp mismatch at lookup or execution
+// time forces recompilation, so no query ever runs against a plan bound to
+// a previous schema while catalog churn on unrelated tables leaves plans
+// cached. All operations are safe under concurrent verify workers.
 
 // planCacheCap bounds the cache; reaching it flushes wholesale (the verify
 // workloads cycle through a small set of template-generated queries, so an
@@ -22,11 +25,13 @@ import (
 const planCacheCap = 512
 
 // planEntry is one cached prepared statement: the parsed AST, its normalized
-// text, and the compiled vectorized plan (nil when the statement is
-// row-only).
+// text, the (lowercased, sorted) tables the statement references, the
+// combined change stamp of those tables at compile time, and the compiled
+// vectorized plan (nil when the statement is row-only).
 type planEntry struct {
 	stmt    *SelectStmt
 	norm    string
+	tables  []string
 	version uint64
 	vp      *vecPlan
 }
@@ -54,11 +59,12 @@ type planCache struct {
 }
 
 // lookup returns a prepared entry for sql, parsing and compiling on miss.
-// Parse errors are returned verbatim and never cached.
+// Parse errors are returned verbatim and never cached. An entry is valid
+// while the combined change stamp of its referenced tables still equals the
+// stamp it was compiled at.
 func (c *planCache) lookup(db *Database, sql string) (*planEntry, error) {
-	ver := db.Version()
 	c.mu.Lock()
-	if e, ok := c.byRaw[sql]; ok && e.version == ver {
+	if e, ok := c.byRaw[sql]; ok && e.version == db.stampFor(e.tables) {
 		c.hits++
 		c.mu.Unlock()
 		return e, nil
@@ -75,7 +81,7 @@ func (c *planCache) lookup(db *Database, sql string) (*planEntry, error) {
 	norm := stmt.SQL()
 
 	c.mu.Lock()
-	if e, ok := c.byNorm[norm]; ok && e.version == ver {
+	if e, ok := c.byNorm[norm]; ok && e.version == db.stampFor(e.tables) {
 		// A new raw spelling of an already-compiled plan: register the alias
 		// and share the entry.
 		c.hits++
@@ -89,11 +95,15 @@ func (c *planCache) lookup(db *Database, sql string) (*planEntry, error) {
 	c.misses++
 	c.mu.Unlock()
 
-	e := &planEntry{stmt: stmt, norm: norm, version: ver, vp: compilePlan(db, stmt)}
-	if e.vp != nil && e.vp.version != ver {
-		// The catalog changed between the version read and compilation;
-		// serve the entry uncached. Its execution falls back to the row
-		// engine via the stale-plan guard, and the next lookup recompiles.
+	tables := tablesOf(stmt)
+	stamp := db.stampFor(tables)
+	e := &planEntry{stmt: stmt, norm: norm, tables: tables, version: stamp, vp: compilePlan(db, stmt)}
+	if db.stampFor(tables) != stamp {
+		// The catalog changed between the stamp read and compilation; serve
+		// the entry uncached. Its execution falls back to the row engine via
+		// the stale-plan guard, and the next lookup recompiles. The full
+		// table set is compared (not vp.version, which stamps only the scan
+		// tables) so a racing change to a subquery table is caught too.
 		return e, nil
 	}
 	c.mu.Lock()
@@ -114,7 +124,7 @@ func (c *planCache) ensureMaps() {
 	}
 }
 
-// flush drops every cached plan (catalog change, cap overflow).
+// flush drops every cached plan (cap overflow, explicit invalidation).
 func (c *planCache) flush() {
 	c.mu.Lock()
 	c.flushLocked()
@@ -124,6 +134,113 @@ func (c *planCache) flush() {
 func (c *planCache) flushLocked() {
 	c.byRaw = nil
 	c.byNorm = nil
+}
+
+// invalidate drops the cached plans that reference the given (lowercased)
+// table, leaving every other entry in place. AddTable/RemoveTable call it so
+// catalog churn — e.g. dataset ingestion — does not evict the hot plans of
+// unrelated tables.
+func (c *planCache) invalidate(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for raw, e := range c.byRaw {
+		if e.references(table) {
+			delete(c.byRaw, raw)
+		}
+	}
+	for norm, e := range c.byNorm {
+		if e.references(table) {
+			delete(c.byNorm, norm)
+		}
+	}
+}
+
+// references reports whether the entry's statement mentions the table.
+// Entry table lists are sorted, but they are short enough that a linear scan
+// beats a binary search in practice.
+func (pe *planEntry) references(table string) bool {
+	for _, t := range pe.tables {
+		if t == table {
+			return true
+		}
+	}
+	return false
+}
+
+// tablesOf collects every table name a statement references — FROM, joins,
+// and subqueries anywhere in the expression tree — lowercased, deduplicated,
+// and sorted. The plan cache uses the set to scope invalidation.
+func tablesOf(stmt *SelectStmt) []string {
+	set := make(map[string]bool)
+	collectStmtTables(stmt, set)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectStmtTables(stmt *SelectStmt, set map[string]bool) {
+	if stmt == nil {
+		return
+	}
+	if stmt.From != nil {
+		set[strings.ToLower(stmt.From.Name)] = true
+	}
+	for _, j := range stmt.Joins {
+		set[strings.ToLower(j.Table.Name)] = true
+		collectExprTables(j.On, set)
+	}
+	for _, it := range stmt.Items {
+		collectExprTables(it.Expr, set)
+	}
+	collectExprTables(stmt.Where, set)
+	for _, e := range stmt.GroupBy {
+		collectExprTables(e, set)
+	}
+	collectExprTables(stmt.Having, set)
+	for _, o := range stmt.OrderBy {
+		collectExprTables(o.Expr, set)
+	}
+}
+
+func collectExprTables(e Expr, set map[string]bool) {
+	switch x := e.(type) {
+	case *UnaryExpr:
+		collectExprTables(x.Expr, set)
+	case *BinaryExpr:
+		collectExprTables(x.Left, set)
+		collectExprTables(x.Right, set)
+	case *BetweenExpr:
+		collectExprTables(x.Expr, set)
+		collectExprTables(x.Lo, set)
+		collectExprTables(x.Hi, set)
+	case *InExpr:
+		collectExprTables(x.Expr, set)
+		for _, it := range x.List {
+			collectExprTables(it, set)
+		}
+		collectStmtTables(x.Sub, set)
+	case *IsNullExpr:
+		collectExprTables(x.Expr, set)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			collectExprTables(a, set)
+		}
+	case *CastExpr:
+		collectExprTables(x.Expr, set)
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			collectExprTables(w.Cond, set)
+			collectExprTables(w.Then, set)
+		}
+		collectExprTables(x.Else, set)
+	case *SubqueryExpr:
+		collectStmtTables(x.Stmt, set)
+	case *ExistsExpr:
+		collectStmtTables(x.Stmt, set)
+	}
 }
 
 // PlanCacheStats is a snapshot of a database's plan-cache counters.
@@ -144,7 +261,8 @@ func (d *Database) PlanCacheStats() PlanCacheStats {
 
 // InvalidatePlans drops all cached plans, forcing the next execution of each
 // query to re-parse and re-compile. Benchmarks use it to measure the cold
-// path; AddTable invokes the same flush internally.
+// path; AddTable/RemoveTable instead invalidate only the entries referencing
+// the changed table.
 func (d *Database) InvalidatePlans() {
 	d.plans.flush()
 }

@@ -118,6 +118,13 @@ const (
 	// spans, are the stream-vs-batch identity surface.
 	KindStreamAdmit  = "stream_admit"
 	KindStreamResult = "stream_result"
+	// KindIngestSample records a dataset-ingestion sampling decision (DESIGN.md
+	// §15): Detail carries the dataset name, rows seen vs kept, the byte
+	// budget outcome, and the reservoir seed. It describes how a catalog was
+	// built, not how claims were verified — the same claims verify identically
+	// against the sampled catalog regardless of where it was ingested — so
+	// ReplayNormalize drops it from the cross-topology identity surface.
+	KindIngestSample = "ingest_sample"
 )
 
 // Outcome values for KindAttempt and KindOutcome spans. Transport-error
@@ -304,7 +311,7 @@ func ReplayNormalize(spans []Span) []Span {
 	for _, s := range spans {
 		switch s.Kind {
 		case KindCacheHit, KindCacheWait, KindMemoMismatch, KindShardRoute, KindShardFailover,
-			KindStreamAdmit, KindStreamResult:
+			KindStreamAdmit, KindStreamResult, KindIngestSample:
 			continue
 		case KindPersistHit:
 			s.Kind = KindAttempt
