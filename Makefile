@@ -7,16 +7,18 @@
 # (multi-replica determinism + failover), the streaming gate (stream-vs-batch
 # determinism, review queue, failover duplicate-work regression), the
 # ingestion gate (dataset onboarding: type inference, sampling determinism,
-# cross-topology verdict identity), and a short fuzz smoke over the SQL
-# parser/executor, the store's segment decoder, the shard ring, and the
-# ingestion type-inference engine.
+# cross-topology verdict identity), the routing determinism gate
+# (cross-database claim decomposition and routing, DESIGN.md §16), and a
+# short fuzz smoke over the SQL parser/executor, the store's segment decoder,
+# the shard ring, the ingestion type-inference engine, and the claim
+# decomposer/router.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build vet test race chaos trace store sqldiff shard stream ingest fuzz-smoke doclint bench
+.PHONY: check build vet test race chaos trace store sqldiff shard stream ingest route fuzz-smoke doclint bench
 
-check: build vet race chaos trace store sqldiff shard stream ingest fuzz-smoke doclint
+check: build vet race chaos trace store sqldiff shard stream ingest route fuzz-smoke doclint
 
 build:
 	$(GO) build ./...
@@ -105,6 +107,18 @@ ingest:
 	$(GO) test -race -run 'Ingest|Dataset|Registry|Surface|Classify|CleanColumn' \
 		./internal/ingest ./cmd/cedar ./cmd/cedar-serve ./internal/exp
 
+# Routing determinism gate under the race detector (DESIGN.md §16):
+# deterministic compound-claim decomposition, catalog scoring and seeded
+# binding, the plan/recombine units, the cedar-level determinism matrix
+# (bit-identical verdicts, fees, and normalized traces across workers {1,8}
+# × fault rates {0,0.2}), the single-database degenerate byte-identity, the
+# partition property test, the routed serving tier (shard counts {1,4} vs a
+# direct route-enabled replica), and the routebench accounting invariants.
+route:
+	$(GO) test -race -run 'Route|Decompose|Combine|Catalog|UnitID' \
+		./internal/route ./internal/agent ./internal/schedule ./internal/data \
+		./cedar ./internal/serve ./cmd/cedar-serve ./cmd/cedar ./internal/exp ./internal/ingest
+
 # Each fuzz target gets a short exploratory burst on top of its seed corpus
 # (the seeds alone already run as part of `go test`).
 fuzz-smoke:
@@ -115,6 +129,8 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzStoreDecode$$ -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run NONE -fuzz FuzzRingAssign$$ -fuzztime $(FUZZTIME) ./internal/shard
 	$(GO) test -run NONE -fuzz FuzzTypeInference$$ -fuzztime $(FUZZTIME) ./internal/ingest
+	$(GO) test -run NONE -fuzz FuzzDecompose$$ -fuzztime $(FUZZTIME) ./internal/route
+	$(GO) test -run NONE -fuzz FuzzRouteScore$$ -fuzztime $(FUZZTIME) ./internal/route
 
 bench:
 	$(GO) test -bench . -benchmem ./...

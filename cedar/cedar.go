@@ -33,6 +33,7 @@ import (
 	"repro/internal/llm/sim"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/route"
 	"repro/internal/schedule"
 	"repro/internal/sqldb"
 	"repro/internal/store"
@@ -107,6 +108,22 @@ type Options struct {
 	// so parallelism only changes wall-clock time.
 	Workers int
 
+	// Route enables cross-database claim routing (DESIGN.md §16): compound
+	// claims — conjunctions of several atomic statements — are decomposed,
+	// each sub-claim is routed to the best-matching table of the catalog
+	// registered via SetCatalog, verified there as an ordinary claim, and
+	// the sub-verdicts recombine under AND-semantics. Claims that do not
+	// decompose are verified whole against their home database, bit-identical
+	// to Route being off. Routing never alters the verification schedule:
+	// sub-claims verify under the same planned schedule as any other claim,
+	// which is what keeps verdicts identical whether a sub-claim is planned
+	// in-process, on a serving replica, or at a sharding coordinator (the
+	// priced routed schedule is reporting-only; see RoutedSchedule).
+	Route bool
+	// RouteTopK bounds the candidate tables the routing stage considers per
+	// sub-claim; 0 means route.DefaultTopK.
+	RouteTopK int
+
 	// Retries, when positive, retries each failed retryable model call up to
 	// Retries additional times with capped exponential backoff and
 	// deterministic seeded jitter (see internal/llm/resilience).
@@ -151,6 +168,10 @@ type System struct {
 	// can report per-run persisted-hit deltas.
 	store  *store.Store
 	caches []*llm.Cached
+	// catalog indexes the routable databases when Options.Route is on;
+	// catalogFP fingerprints their contents into the memo config key.
+	catalog   *route.Catalog
+	catalogFP []byte
 
 	// runMu serializes verification runs: the fee ledger and the tracer are
 	// run-scoped (reset at run start, read at run end), so overlapping runs
@@ -163,6 +184,10 @@ type System struct {
 // ErrNotProfiled is returned by Verify before ProfileOn (or SetStats) has
 // provided the scheduler with method statistics.
 var ErrNotProfiled = errors.New("cedar: system not profiled; call ProfileOn first")
+
+// ErrNoCatalog is returned by Verify when Options.Route is on but no catalog
+// has been registered via SetCatalog.
+var ErrNoCatalog = errors.New("cedar: routing enabled but no catalog registered; call SetCatalog first")
 
 // New builds a System with the standard four-method stack of Section 7.1:
 // one-shot translation with GPT-3.5 and GPT-4o, agent-based verification
@@ -306,6 +331,58 @@ func (s *System) SetStats(stats []schedule.MethodStats) error {
 // Stats returns the current profiling statistics (nil before ProfileOn).
 func (s *System) Stats() []schedule.MethodStats { return s.stats }
 
+// SetCatalog registers the databases whose tables compound claims may route
+// to (Options.Route). The catalog is rebuilt from the databases' current
+// contents — re-register after ingesting or dropping tables. Registration
+// order is part of the routing identity: use the same order everywhere the
+// same claims are planned.
+func (s *System) SetCatalog(dbs ...*Database) error {
+	if len(dbs) == 0 {
+		return errors.New("cedar: SetCatalog needs at least one database")
+	}
+	cat := route.NewCatalog(dbs...)
+	if cat.Len() == 0 {
+		return errors.New("cedar: SetCatalog found no tables to route to")
+	}
+	fp := newFields()
+	fp.u64(uint64(len(dbs)))
+	for _, db := range dbs {
+		d := dbFingerprint(db)
+		fp.buf = append(fp.buf, d[:]...)
+	}
+	s.catalog = cat
+	s.catalogFP = fp.buf
+	return nil
+}
+
+// Catalog returns the registered routing catalog (nil before SetCatalog).
+func (s *System) Catalog() *route.Catalog { return s.catalog }
+
+// RoutedSchedule renders the DP-priced end-to-end schedule of a routed
+// claim: the planned verification schedule with the routing stage's fee and
+// wrong-routing risk applied (schedule.RouteStage). It is a reporting and
+// planning surface — verification itself always runs the shared schedule,
+// so that a sub-claim's verdict is identical to the verdict of the same
+// sentence arriving as a plain claim.
+func (s *System) RoutedSchedule() string {
+	if s.pipe == nil {
+		return "(not planned)"
+	}
+	if !s.opts.Route {
+		return s.Schedule()
+	}
+	mt := s.opts.MaxTries
+	if mt <= 0 {
+		mt = 2
+	}
+	rs := schedule.RouteStage{Fee: route.DefaultFee, Accuracy: route.DefaultAccuracy}
+	plan, err := schedule.PlanRouted(s.stats, mt, s.opts.AccuracyTarget, rs)
+	if err != nil {
+		return s.Schedule()
+	}
+	return plan.String()
+}
+
 // Resilience snapshots the operational counters of the resilience middleware
 // (attempts, retries, injected faults, hedges, breaker activity) accumulated
 // since the system was built.
@@ -353,6 +430,12 @@ type Report struct {
 	// the persistent store (Options.CacheDir) at zero fee — completions some
 	// earlier run already paid for. Zero without a cache dir.
 	PersistedHits int
+	// RoutedSubClaims counts routing decisions of the run (sub-claims of
+	// compound claims bound to catalog tables; Options.Route); RouteDollars
+	// is their total routing fee, already included in Dollars. Both are zero
+	// when routing is off or nothing decomposed.
+	RoutedSubClaims int
+	RouteDollars    float64
 	// MemoHits counts claims whose freshly computed verdict matched a
 	// persisted verdict memo; MemoMismatches counts disagreements (the memo
 	// is then overwritten — memos validate, they never override).
@@ -394,11 +477,33 @@ func (s *System) verifyRun(docs []*Document, spans *[]trace.Span) (Report, error
 	// A trace covers exactly one run: drop spans from profiling or earlier
 	// runs, mirroring the ledger reset.
 	s.opts.Tracer.Reset()
+	// Routing expands compound claims into routed single-claim unit
+	// documents before verification; documents without compound claims pass
+	// through as the same pointers, so a route-enabled run over simple
+	// claims is bit-identical to routing being off. Planning happens under
+	// runMu and single-threaded, so bindings and route spans are
+	// deterministic at any worker count.
+	runDocs := docs
+	var plan *route.Plan
+	if s.opts.Route {
+		if s.catalog == nil {
+			return Report{}, ErrNoCatalog
+		}
+		plan = route.PlanDocuments(docs, s.catalog, route.Options{
+			Seed:   s.opts.Seed,
+			TopK:   s.opts.RouteTopK,
+			Tracer: s.opts.Tracer,
+		})
+		runDocs = plan.Expanded
+	}
 	prePersist := s.persistHits()
 	if s.opts.Workers > 1 {
-		s.pipe.VerifyDocumentsParallel(docs, s.opts.Workers)
+		s.pipe.VerifyDocumentsParallel(runDocs, s.opts.Workers)
 	} else {
-		s.pipe.VerifyDocuments(docs)
+		s.pipe.VerifyDocuments(runDocs)
+	}
+	if plan != nil {
+		plan.Recombine()
 	}
 	rep := Report{
 		Quality:       metrics.Evaluate(docs),
@@ -407,7 +512,12 @@ func (s *System) verifyRun(docs []*Document, spans *[]trace.Span) (Report, error
 		Calls:         s.ledger.TotalCalls(),
 		PersistedHits: s.persistHits() - prePersist,
 	}
-	rep.MemoHits, rep.MemoMismatches = s.memoPass(docs)
+	if plan != nil {
+		rep.RoutedSubClaims = plan.SubClaims
+		rep.RouteDollars = plan.Fee
+		rep.Dollars += plan.Fee
+	}
+	rep.MemoHits, rep.MemoMismatches = s.memoPass(runDocs)
 	for _, d := range docs {
 		for _, c := range d.Claims {
 			if c.Result.Verified {

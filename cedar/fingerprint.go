@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/claim"
+	"repro/internal/route"
 	"repro/internal/sqldb"
 )
 
@@ -102,6 +103,16 @@ func (s *System) configFingerprint() [32]byte {
 	f.u64(uint64(o.BreakerThreshold))
 	f.f64(o.FaultRate)
 	f.str(s.Schedule())
+	// Routing fields participate only when routing is on, so every
+	// fingerprint computed before routing existed — and every run with
+	// routing off — keeps its exact pre-routing key material.
+	if o.Route {
+		f.str("route")
+		f.u64(uint64(o.RouteTopK))
+		f.f64(route.DefaultFee)
+		f.f64(route.DefaultAccuracy)
+		f.buf = append(f.buf, s.catalogFP...)
+	}
 	return f.sum()
 }
 

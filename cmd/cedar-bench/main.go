@@ -21,6 +21,7 @@
 //	sqlbench   SQL engine — vectorized executor vs row oracle, plan cache cold vs warm
 //	streambench streamed vs batched delivery — time-to-first-verdict and claims/sec
 //	ingestbench dataset onboarding — CSV/NDJSON ingest throughput, sampling, surface quality
+//	routebench cross-database routing — routing accuracy, routed vs home-db quality and cost
 //	all        run everything above
 package main
 
@@ -92,6 +93,9 @@ func experiments() []experiment {
 		{"ingestbench", "Dataset onboarding: CSV/NDJSON ingest throughput, sampling, and surface verification quality", func(s int64, w int) (result, error) {
 			return exp.IngestBench(s, w)
 		}},
+		{"routebench", "Cross-database routing: routing accuracy, routed vs home-db verification quality and cost", func(s int64, w int) (result, error) {
+			return exp.RouteBench(s, w)
+		}},
 	}
 }
 
@@ -113,6 +117,7 @@ type benchOptions struct {
 	ShardJSON    string
 	StreamJSON   string
 	IngestJSON   string
+	RouteJSON    string
 }
 
 // defineFlags registers the binary's flags on fs, bound to the returned
@@ -136,6 +141,7 @@ func defineFlags(fs *flag.FlagSet) *benchOptions {
 	fs.StringVar(&o.ShardJSON, "shard-json", "", "write the shardbench result as JSON to this file (e.g. BENCH_shard.json)")
 	fs.StringVar(&o.StreamJSON, "stream-json", "", "write the streambench result as JSON to this file (e.g. BENCH_stream.json)")
 	fs.StringVar(&o.IngestJSON, "ingest-json", "", "write the ingestbench result as JSON to this file (e.g. BENCH_ingest.json)")
+	fs.StringVar(&o.RouteJSON, "route-json", "", "write the routebench result as JSON to this file (e.g. BENCH_route.json)")
 	return o
 }
 
@@ -172,7 +178,7 @@ func main() {
 		os.Exit(2)
 	}
 	ran, err := runExperiments(os.Stdout, flag.Arg(0), o.Seed, o.Workers, o.AsCSV,
-		map[string]string{"storebench": o.StoreJSON, "sqlbench": o.SQLJSON, "shardbench": o.ShardJSON, "streambench": o.StreamJSON, "ingestbench": o.IngestJSON})
+		map[string]string{"storebench": o.StoreJSON, "sqlbench": o.SQLJSON, "shardbench": o.ShardJSON, "streambench": o.StreamJSON, "ingestbench": o.IngestJSON, "routebench": o.RouteJSON})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cedar-bench:", err)
 		os.Exit(1)
@@ -215,7 +221,8 @@ func exportTrace(tracer *trace.Tracer, path string, summary bool, seed int64, wo
 
 // jsonResult is implemented by results with a machine-readable JSON artifact
 // (storebench via -store-json, sqlbench via -sqlbench-json, shardbench via
-// -shard-json, streambench via -stream-json, ingestbench via -ingest-json).
+// -shard-json, streambench via -stream-json, ingestbench via -ingest-json,
+// routebench via -route-json).
 type jsonResult interface{ JSON() ([]byte, error) }
 
 // runExperiments executes every experiment matching want ("all" matches

@@ -62,6 +62,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/route"
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/sqldb"
@@ -95,6 +96,9 @@ type serveOptions struct {
 	FaultRate  float64
 
 	CacheDir string
+
+	Route     bool
+	RouteTopK int
 
 	SampleRows     int
 	MaxIngestBytes int64
@@ -135,6 +139,8 @@ func defineFlags(fs *flag.FlagSet) *serveOptions {
 	fs.IntVar(&o.Breaker, "breaker", 0, "trip a per-model circuit breaker after N consecutive failures; 0 disables (order-dependent, see DESIGN.md §9)")
 	fs.Float64Var(&o.FaultRate, "fault-rate", 0, "inject deterministic transport faults at this per-attempt probability (chaos testing)")
 	fs.StringVar(&o.CacheDir, "cache-dir", "", "persist temperature-0 completions and verdict memos in this directory; restarts answer repeated work at zero fee (DESIGN.md §11). Datasets ingested via POST /v1/datasets persist here too")
+	fs.BoolVar(&o.Route, "route", false, "decompose compound claims and route each sub-claim to the best-matching table (DESIGN.md §16); in -coordinator mode sub-claims fan out across the ring by their routed fingerprint")
+	fs.IntVar(&o.RouteTopK, "route-topk", 0, "candidate tables the routing stage considers per sub-claim; 0 uses the built-in default")
 	fs.IntVar(&o.SampleRows, "sample-rows", 0, "default row budget for POST /v1/datasets ingestions: keep at most N rows, reservoir-sampled deterministically (default 50000)")
 	fs.Int64Var(&o.MaxIngestBytes, "max-ingest-bytes", 0, "default byte budget for POST /v1/datasets ingestions, stopping at the last complete record (default 32 MiB)")
 	fs.BoolVar(&o.Coordinator, "coordinator", false, "run as a sharding coordinator: route requests to the -replicas processes instead of verifying locally (DESIGN.md §13)")
@@ -190,6 +196,8 @@ func newServerSink(o *serveOptions, sink func([]trace.Span)) (*serve.Server, fun
 		BreakerThreshold: o.Breaker,
 		FaultRate:        o.FaultRate,
 		CacheDir:         o.CacheDir,
+		Route:            o.Route,
+		RouteTopK:        o.RouteTopK,
 		Tracer:           tracer,
 	})
 	if err != nil {
@@ -238,6 +246,13 @@ func newServerSink(o *serveOptions, sink func([]trace.Span)) (*serve.Server, fun
 			Kind:   trace.KindIngestSample,
 			Detail: ds.Info.SampleDetail(),
 		})
+	}
+	if o.Route {
+		// After dataset restore, so ingested tables are routable too.
+		if err := sys.SetCatalog(db); err != nil {
+			sys.Close()
+			return nil, nil, err
+		}
 	}
 	backend := serve.BackendFunc(func(docs []*cedar.Document) (serve.RunStats, error) {
 		rep, err := sys.Verify(docs)
@@ -315,18 +330,29 @@ func newCoordinator(o *serveOptions) (*serve.Coordinator, error) {
 	if len(o.Replicas) == 0 {
 		return nil, fmt.Errorf("-coordinator requires at least one -replicas URL")
 	}
-	_, dbName, err := loadServeDatabase(o)
+	db, dbName, err := loadServeDatabase(o)
 	if err != nil {
 		return nil, err
 	}
-	return serve.NewCoordinator(serve.CoordinatorConfig{
+	cfg := serve.CoordinatorConfig{
 		RouteKey:       routeKeyFor(o, dbName),
 		DocID:          dbName,
 		Replicas:       o.Replicas,
 		ProbeInterval:  o.ProbeInterval,
 		StreamWindow:   o.StreamWindow,
 		RequestTimeout: o.RequestTimeout,
-	})
+	}
+	if o.Route && len(db.Tables()) > 0 {
+		// The coordinator decomposes compound claims itself so sub-claims can
+		// fan out across the ring; a dataset-only coordinator has no catalog
+		// here and relays whole documents — the replicas route internally.
+		cfg.Route = &serve.RouteConfig{
+			Catalog: route.NewCatalog(db),
+			Seed:    o.Seed,
+			TopK:    o.RouteTopK,
+		}
+	}
+	return serve.NewCoordinator(cfg)
 }
 
 // advertiseURL derives the URL a replica registers under from its -addr: a

@@ -70,6 +70,8 @@ func defineFlags(fs *flag.FlagSet) *runOptions {
 	fs.StringVar(&o.TracePath, "trace", "", "write the run's attempt-level trace as sorted JSONL to this file")
 	fs.BoolVar(&o.TraceSummary, "trace-summary", false, "print per-method/per-model trace rollups and the run manifest to stderr")
 	fs.StringVar(&o.CacheDir, "cache-dir", "", "persist temperature-0 completions and verdict memos in this directory; repeated runs answer persisted work at zero fee (DESIGN.md §11)")
+	fs.BoolVar(&o.Route, "route", false, "decompose compound claims and route each sub-claim to the best-matching table of the loaded database (DESIGN.md §16)")
+	fs.IntVar(&o.RouteTopK, "route-topk", 0, "candidate tables the routing stage considers per sub-claim; 0 uses the built-in default")
 	return o
 }
 
@@ -113,6 +115,8 @@ type runOptions struct {
 	TracePath    string
 	TraceSummary bool
 	CacheDir     string
+	Route        bool
+	RouteTopK    int
 }
 
 func run(o runOptions) error {
@@ -174,12 +178,19 @@ func run(o runOptions) error {
 		BreakerThreshold: o.Breaker,
 		FaultRate:        o.FaultRate,
 		CacheDir:         o.CacheDir,
+		Route:            o.Route,
+		RouteTopK:        o.RouteTopK,
 		Tracer:           tracer,
 	})
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
+	if o.Route {
+		if err := sys.SetCatalog(db); err != nil {
+			return err
+		}
+	}
 	if o.StatsPath != "" {
 		stats, err := profile.LoadStats(o.StatsPath)
 		if err != nil {
@@ -254,7 +265,11 @@ func run(o runOptions) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
 	}
-	fmt.Printf("schedule: %s\n\n", sys.Schedule())
+	fmt.Printf("schedule: %s\n", sys.Schedule())
+	if o.Route {
+		fmt.Printf("routed schedule: %s\n", sys.RoutedSchedule())
+	}
+	fmt.Println()
 	for _, c := range doc.Claims {
 		verdict := "CORRECT"
 		if !c.Result.Correct {
@@ -267,6 +282,10 @@ func run(o runOptions) error {
 	}
 	fmt.Printf("\n%d claims, %d flagged incorrect, simulated cost $%.4f (%d model calls)\n",
 		rep.Claims, rep.Flagged, rep.Dollars, rep.Calls)
+	if o.Route {
+		fmt.Printf("routing: %d sub-claims routed, routing fee $%.4f\n",
+			rep.RoutedSubClaims, rep.RouteDollars)
+	}
 	if o.CacheDir != "" {
 		fmt.Printf("cache: %d persisted hits, %d memo hits, %d memo mismatches\n",
 			rep.PersistedHits, rep.MemoHits, rep.MemoMismatches)

@@ -1,0 +1,60 @@
+package agent
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// routeEps is the score band within which two routing candidates are
+// considered tied; embedding cosines are floats and exact equality would
+// make ties scheduling-fragile to reproduce in tests.
+const routeEps = 1e-9
+
+// RoutePick is the routing stage's binding decision (DESIGN.md §16): given
+// the candidate names and scores for one sub-claim, it returns the index of
+// the chosen candidate. The top score wins outright; candidates within
+// routeEps of the top form a tie set, broken by the smallest seeded FNV hash
+// of (seed, key, name) — deterministic for a fixed seed and claim identity,
+// but unbiased across claims — with lexicographic order as the final
+// tie-break. tied reports whether more than one candidate was in the band.
+//
+// RoutePick never fails: an all-zero score vector still yields a
+// deterministic pick. It panics only on empty or mismatched inputs, which
+// are programmer errors.
+func RoutePick(seed int64, key string, names []string, scores []float64) (idx int, tied bool) {
+	if len(names) == 0 || len(names) != len(scores) {
+		panic("agent: RoutePick needs equal-length non-empty names and scores")
+	}
+	best := scores[0]
+	for _, s := range scores[1:] {
+		if s > best {
+			best = s
+		}
+	}
+	chosen, chosenHash := -1, uint64(0)
+	n := 0
+	for i, s := range scores {
+		if best-s > routeEps {
+			continue
+		}
+		n++
+		h := routeHash(seed, key, names[i])
+		if chosen < 0 || h < chosenHash || (h == chosenHash && names[i] < names[chosen]) {
+			chosen, chosenHash = i, h
+		}
+	}
+	return chosen, n > 1
+}
+
+// routeHash mixes the seed, the sub-claim's routing identity, and a
+// candidate name into a 64-bit value.
+func routeHash(seed int64, key, name string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	return h.Sum64()
+}

@@ -1,0 +1,77 @@
+package agent
+
+import "testing"
+
+func TestRoutePickArgmax(t *testing.T) {
+	idx, tied := RoutePick(1, "k", []string{"a", "b", "c"}, []float64{0.2, 0.9, 0.5})
+	if idx != 1 || tied {
+		t.Fatalf("idx=%d tied=%v, want 1/false", idx, tied)
+	}
+}
+
+func TestRoutePickDeterministic(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	scores := []float64{0.5, 0.5, 0.5}
+	i1, t1 := RoutePick(42, "doc\x000\x000", names, scores)
+	i2, t2 := RoutePick(42, "doc\x000\x000", names, scores)
+	if i1 != i2 || t1 != t2 {
+		t.Fatal("RoutePick not deterministic")
+	}
+	if !t1 {
+		t.Fatal("equal scores must report tied")
+	}
+}
+
+func TestRoutePickTieBandEps(t *testing.T) {
+	// Scores within eps of the best tie; scores further away never win.
+	names := []string{"near", "best", "far"}
+	scores := []float64{0.9 - 5e-10, 0.9, 0.3}
+	seen := make(map[int]bool)
+	for i := 0; i < 64; i++ {
+		idx, tied := RoutePick(int64(i), "k", names, scores)
+		if !tied {
+			t.Fatal("band of two must report tied")
+		}
+		if idx == 2 {
+			t.Fatal("far candidate won a tie it was not in")
+		}
+		seen[idx] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Error("seeded tie-break never varied across 64 seeds")
+	}
+}
+
+func TestRoutePickKeySensitivity(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	scores := []float64{1, 1, 1, 1}
+	seen := make(map[int]bool)
+	for _, key := range []string{"k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8"} {
+		idx, _ := RoutePick(7, key, names, scores)
+		seen[idx] = true
+	}
+	if len(seen) < 2 {
+		t.Error("tie-break ignored the routing key")
+	}
+}
+
+func TestRoutePickPanics(t *testing.T) {
+	cases := []struct {
+		name   string
+		names  []string
+		scores []float64
+	}{
+		{"empty", nil, nil},
+		{"mismatched", []string{"a"}, []float64{1, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			RoutePick(1, "k", tc.names, tc.scores)
+		})
+	}
+}

@@ -180,3 +180,72 @@ func TestReviewConcurrentAccess(t *testing.T) {
 		<-done
 	}
 }
+
+// An item evicted at the cap is gone, not resolved: resolving it reports
+// ok=false, and — unlike a resolved claim — it may be legitimately
+// re-enqueued by later traffic and then resolved normally.
+func TestReviewResolveAfterCapEviction(t *testing.T) {
+	q := NewQueue(1)
+	cold := item("d", "cold", 0.2, 0, 1)
+	if !q.Enqueue(cold) {
+		t.Fatal("cold item rejected on an empty queue")
+	}
+	coldID := q.Pending(0)[0].ID
+	if !q.Enqueue(item("d", "hot", 0.9, 0, 1)) {
+		t.Fatal("outranking item rejected at cap")
+	}
+
+	// The eviction removed cold without a human verdict; resolving it must
+	// fail rather than minting a resolution for an item nobody reviewed.
+	if _, ok := q.Resolve(coldID, ResolutionConfirmed, ""); ok {
+		t.Fatal("evicted item resolved; eviction must not imply resolution")
+	}
+	if st := q.Stats(); st.Resolved != 0 || st.Dropped != 1 || st.Depth != 1 {
+		t.Fatalf("stats after evicted-resolve = %+v, want resolved=0 dropped=1 depth=1", st)
+	}
+
+	// Eviction is not a verdict: once capacity frees up the same claim can
+	// come back and be resolved like any pending item.
+	hotID := q.Pending(0)[0].ID
+	if _, ok := q.Resolve(hotID, ResolutionConfirmed, ""); !ok {
+		t.Fatal("pending hot item did not resolve")
+	}
+	if !q.Enqueue(cold) {
+		t.Fatal("evicted (never-resolved) item rejected on re-enqueue")
+	}
+	if it, ok := q.Resolve(coldID, ResolutionOverturned, "second pass"); !ok || it.Resolution != ResolutionOverturned {
+		t.Fatalf("re-enqueued item resolve = %+v ok=%t", it, ok)
+	}
+}
+
+// A duplicate Enqueue — e.g. the same claim arriving twice through the
+// sharded tier's failover proxy — refreshes the pending item in place: its
+// priority follows the newest inputs, the enqueue counter does not double,
+// and its position in review order moves with the refreshed priority.
+func TestReviewDuplicateEnqueueRefreshesPriority(t *testing.T) {
+	q := NewQueue(0)
+	a := item("d", "a", 0.3, 0, 1)
+	b := item("d", "b", 0.5, 0, 1)
+	q.Enqueue(a)
+	q.Enqueue(b)
+	if got := q.Pending(0); got[0].ClaimID != "b" {
+		t.Fatalf("initial order = [%s %s], want b first", got[0].ClaimID, got[1].ClaimID)
+	}
+
+	// Same claim, higher sunk fee: identical ID, so this refreshes a rather
+	// than adding a second entry — and a now outranks b.
+	a.FeeSunk = 3
+	if !q.Enqueue(a) {
+		t.Fatal("duplicate refresh rejected")
+	}
+	got := q.Pending(0)
+	if len(got) != 2 || got[0].ClaimID != "a" {
+		t.Fatalf("order after refresh = %+v, want a first", got)
+	}
+	if want := Priority(0.3, 3, 1); got[0].Priority != want {
+		t.Fatalf("refreshed priority = %v, want %v", got[0].Priority, want)
+	}
+	if st := q.Stats(); st.Enqueued != 2 || st.Depth != 2 || st.Dropped != 0 {
+		t.Fatalf("stats after refresh = %+v, want enqueued=2 depth=2 dropped=0", st)
+	}
+}

@@ -1,0 +1,133 @@
+package route
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/textutil"
+)
+
+// SubClaim is one atomic statement extracted from a compound claim. Sentence
+// is a complete, capitalized, period-terminated English sentence; Value is
+// the claimed value locatable in Sentence (textutil.FindValueSpan); Context
+// is inherited from the parent claim.
+type SubClaim struct {
+	Sentence string
+	Value    string
+	Context  string
+}
+
+// connectives are the top-level conjunctions Decompose splits on. Only
+// comma-prefixed forms qualify: a bare " and " occurs inside column phrases
+// ("incidents between 1985 and 1999") and must not split.
+var connectives = []string{", and ", ", while ", ", whereas "}
+
+// maxSubClaims bounds decomposition; longer conjunction chains are treated
+// as non-compound (verified whole against the claim's home database).
+const maxSubClaims = 4
+
+// valueCues are sentence fragments whose prefix is the claimed value in the
+// nl render templates (ArgMax/ArgMin/Mode put the value first).
+var valueCues = []string{" recorded the highest ", " recorded the lowest ", " is the most common "}
+
+// Decompose splits a compound claim into its sub-claims. It is total,
+// deterministic, and pure: for a sentence that is not a well-formed
+// conjunction of extractable atomic statements it returns the input as a
+// single SubClaim (the passthrough case — callers treat len < 2 as "not
+// compound, do not route"). For a well-formed compound it returns one
+// SubClaim per conjunct, each with its own extracted value.
+//
+// Value extraction per conjunct applies the first matching rule:
+//  1. the parent claim's value, when locatable in the conjunct;
+//  2. the prefix before a value cue (" recorded the highest ", ...);
+//  3. the suffix of a trailing "was X." (Min/Max/Diff templates — checked
+//     before rule 4 because their column phrases may contain earlier
+//     numerals, e.g. "between 1985 and 1999");
+//  4. the first numeric token;
+//  5. none — the conjunct has no extractable value and the whole claim
+//     passes through undecomposed.
+func Decompose(sentence, value, context string) []SubClaim {
+	passthrough := []SubClaim{{Sentence: sentence, Value: value, Context: context}}
+	parts := splitConnectives(strings.TrimSpace(sentence))
+	if len(parts) < 2 || len(parts) > maxSubClaims {
+		return passthrough
+	}
+	subs := make([]SubClaim, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return passthrough
+		}
+		part = capitalize(part)
+		if !strings.HasSuffix(part, ".") {
+			part += "."
+		}
+		v, ok := extractValue(part, value)
+		if !ok {
+			return passthrough
+		}
+		if _, ok := textutil.FindValueSpan(part, v); !ok {
+			return passthrough
+		}
+		subs = append(subs, SubClaim{Sentence: part, Value: v, Context: context})
+	}
+	return subs
+}
+
+// splitConnectives splits s on the earliest top-level connective, repeatedly.
+func splitConnectives(s string) []string {
+	var parts []string
+	for {
+		idx, width := -1, 0
+		for _, conn := range connectives {
+			if i := strings.Index(s, conn); i >= 0 && (idx < 0 || i < idx) {
+				idx, width = i, len(conn)
+			}
+		}
+		if idx < 0 {
+			return append(parts, s)
+		}
+		parts = append(parts, s[:idx])
+		s = s[idx+width:]
+	}
+}
+
+// extractValue finds the claimed value of one conjunct (see Decompose).
+func extractValue(part, parentValue string) (string, bool) {
+	if parentValue != "" {
+		if _, ok := textutil.FindValueSpan(part, parentValue); ok {
+			return parentValue, true
+		}
+	}
+	for _, cue := range valueCues {
+		if i := strings.Index(part, cue); i > 0 {
+			if v := strings.TrimSpace(part[:i]); v != "" {
+				return v, true
+			}
+		}
+	}
+	trimmed := strings.TrimSuffix(part, ".")
+	if i := strings.LastIndex(trimmed, " was "); i >= 0 {
+		if v := strings.TrimSpace(trimmed[i+len(" was "):]); v != "" && textutil.IsNumeric(v) {
+			return v, true
+		}
+	}
+	for _, tok := range strings.Fields(part) {
+		t := strings.TrimRight(tok, ".,;:!?")
+		if t != "" && textutil.IsNumeric(t) {
+			return t, true
+		}
+	}
+	return "", false
+}
+
+// capitalize upper-cases the first rune so split conjuncts read as
+// standalone sentences.
+func capitalize(s string) string {
+	r, size := utf8.DecodeRuneInString(s)
+	if r == utf8.RuneError || unicode.IsUpper(r) {
+		return s
+	}
+	return string(unicode.ToUpper(r)) + s[size:]
+}

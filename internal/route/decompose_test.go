@@ -1,0 +1,138 @@
+package route
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/textutil"
+)
+
+func TestDecomposeSimplePassthrough(t *testing.T) {
+	subs := Decompose("The average delay of Delta was 12.", "12", "ctx")
+	if len(subs) != 1 {
+		t.Fatalf("simple claim decomposed into %d parts", len(subs))
+	}
+	if subs[0].Sentence != "The average delay of Delta was 12." || subs[0].Value != "12" || subs[0].Context != "ctx" {
+		t.Fatalf("passthrough altered the claim: %+v", subs[0])
+	}
+}
+
+func TestDecomposeConjunction(t *testing.T) {
+	sentence := "The average delay of Delta was 12, and the total beer servings across countries was 350."
+	subs := Decompose(sentence, "12", "")
+	if len(subs) != 2 {
+		t.Fatalf("got %d parts, want 2", len(subs))
+	}
+	want := []SubClaim{
+		{Sentence: "The average delay of Delta was 12.", Value: "12"},
+		{Sentence: "The total beer servings across countries was 350.", Value: "350"},
+	}
+	for i, w := range want {
+		if subs[i] != w {
+			t.Errorf("part %d = %+v, want %+v", i, subs[i], w)
+		}
+	}
+}
+
+func TestDecomposeThreeParts(t *testing.T) {
+	sentence := "The minimum points was 4, while the maximum population was 900, and the average runtime was 120."
+	subs := Decompose(sentence, "4", "")
+	if len(subs) != 3 {
+		t.Fatalf("got %d parts, want 3", len(subs))
+	}
+	for i, wantVal := range []string{"4", "900", "120"} {
+		if subs[i].Value != wantVal {
+			t.Errorf("part %d value = %q, want %q", i, subs[i].Value, wantVal)
+		}
+	}
+}
+
+func TestDecomposeBareAndDoesNotSplit(t *testing.T) {
+	// Bare " and " occurs inside column phrases and must never split.
+	sentence := "The number of incidents between 1985 and 1999 for Aeroflot was 76."
+	subs := Decompose(sentence, "76", "")
+	if len(subs) != 1 {
+		t.Fatalf("bare ' and ' split the sentence into %d parts", len(subs))
+	}
+}
+
+func TestDecomposeValueCue(t *testing.T) {
+	sentence := "Brazil recorded the highest beer servings, and the average wine servings was 60."
+	subs := Decompose(sentence, "Brazil", "")
+	if len(subs) != 2 {
+		t.Fatalf("got %d parts, want 2", len(subs))
+	}
+	if subs[0].Value != "Brazil" {
+		t.Errorf("cue conjunct value = %q, want Brazil", subs[0].Value)
+	}
+	if subs[1].Value != "60" {
+		t.Errorf("numeric conjunct value = %q, want 60", subs[1].Value)
+	}
+}
+
+func TestDecomposePassthroughCases(t *testing.T) {
+	cases := []struct {
+		name            string
+		sentence, value string
+	}{
+		{"no value in conjunct", "Something holds, and nothing numeric here.", ""},
+		{"empty part", "The count was 5, and , and the sum was 8.", "5"},
+		{"too many parts", "A was 1, and b was 2, and c was 3, and d was 4, and e was 5.", "1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			subs := Decompose(tc.sentence, tc.value, "")
+			if len(subs) != 1 || subs[0].Sentence != tc.sentence {
+				t.Fatalf("expected passthrough, got %+v", subs)
+			}
+		})
+	}
+}
+
+// FuzzDecompose checks the decomposer's total/pure/deterministic contract on
+// arbitrary input: it never panics, never returns zero or more than
+// maxSubClaims parts, returns the input untouched in the passthrough case,
+// locates every extracted value in its conjunct, and is referentially
+// transparent.
+func FuzzDecompose(f *testing.F) {
+	f.Add("The average delay of Delta was 12, and the total was 350.", "12", "")
+	f.Add("A was 1, and b was 2, and c was 3, and d was 4, and e was 5.", "1", "x")
+	f.Add(", and , and ", "", "")
+	f.Add("No digits here, and none here either.", "", "ctx")
+	f.Add("Brazil recorded the highest beer servings, while X was 9.", "Brazil", "")
+	f.Add("Trailing connective, and ", "7", "")
+	f.Add(", and leading connective was 3.", "3", "")
+	f.Add("Unicode éclair was 3, whereas über count was 4.", "3", "")
+	f.Fuzz(func(t *testing.T, sentence, value, context string) {
+		subs := Decompose(sentence, value, context)
+		if len(subs) < 1 || len(subs) > maxSubClaims {
+			t.Fatalf("got %d parts", len(subs))
+		}
+		again := Decompose(sentence, value, context)
+		if len(again) != len(subs) {
+			t.Fatalf("non-deterministic: %d then %d parts", len(subs), len(again))
+		}
+		for i := range subs {
+			if subs[i] != again[i] {
+				t.Fatalf("non-deterministic part %d: %+v vs %+v", i, subs[i], again[i])
+			}
+		}
+		if len(subs) == 1 {
+			if subs[0].Sentence != sentence || subs[0].Value != value || subs[0].Context != context {
+				t.Fatalf("passthrough altered the claim: %+v", subs[0])
+			}
+			return
+		}
+		for i, sub := range subs {
+			if sub.Context != context {
+				t.Errorf("part %d lost context", i)
+			}
+			if !strings.HasSuffix(sub.Sentence, ".") {
+				t.Errorf("part %d not period-terminated: %q", i, sub.Sentence)
+			}
+			if _, ok := textutil.FindValueSpan(sub.Sentence, sub.Value); !ok {
+				t.Errorf("part %d value %q not locatable in %q", i, sub.Value, sub.Sentence)
+			}
+		}
+	})
+}

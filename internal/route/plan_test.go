@@ -1,0 +1,211 @@
+package route
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/claim"
+	"repro/internal/trace"
+)
+
+func mustClaim(t *testing.T, id, sentence, value string) *claim.Claim {
+	t.Helper()
+	c, err := claim.New(id, sentence, value, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestUnitIDStableAndDiscriminating(t *testing.T) {
+	a := UnitID("db/t", "S.", "1", "")
+	if a != UnitID("db/t", "S.", "1", "") {
+		t.Fatal("UnitID not stable")
+	}
+	if !strings.HasPrefix(a, "route:db/t:") {
+		t.Fatalf("UnitID %q lacks the route: prefix", a)
+	}
+	distinct := map[string]bool{
+		a:                              true,
+		UnitID("db/u", "S.", "1", ""):  true,
+		UnitID("db/t", "S!", "1", ""):  true,
+		UnitID("db/t", "S.", "2", ""):  true,
+		UnitID("db/t", "S.", "1", "c"): true,
+		// Length-prefix injectivity: shifting a byte across the field
+		// boundary must change the ID.
+		UnitID("db/tS", ".", "1", ""): true,
+	}
+	if len(distinct) != 6 {
+		t.Fatalf("UnitID collision: %d distinct of 6", len(distinct))
+	}
+}
+
+func TestPlanDocumentsPassthrough(t *testing.T) {
+	a, b := distinctDBs()
+	cat := NewCatalog(a, b)
+	doc := &claim.Document{ID: "d1", Data: a, Claims: []*claim.Claim{
+		mustClaim(t, "c1", "The fatal accidents of Aeroflot was 76.", "76"),
+	}}
+	tr := trace.New()
+	p := PlanDocuments([]*claim.Document{doc}, cat, Options{Seed: 1, Tracer: tr})
+	if len(p.Expanded) != 1 || p.Expanded[0] != doc {
+		t.Fatal("simple doc must pass through as the same pointer")
+	}
+	if p.SubClaims != 0 || p.Fee != 0 {
+		t.Fatalf("passthrough booked fees: %d sub-claims, %v", p.SubClaims, p.Fee)
+	}
+	if spans := tr.Spans(); len(spans) != 0 {
+		t.Fatalf("passthrough recorded %d route spans", len(spans))
+	}
+}
+
+func TestPlanDocumentsNilCatalogPassthrough(t *testing.T) {
+	doc := &claim.Document{ID: "d1", Claims: []*claim.Claim{
+		mustClaim(t, "c1", "A was 1, and b was 2.", "1"),
+	}}
+	for _, cat := range []*Catalog{nil, NewCatalog()} {
+		p := PlanDocuments([]*claim.Document{doc}, cat, Options{})
+		if len(p.Expanded) != 1 || p.Expanded[0] != doc || p.SubClaims != 0 {
+			t.Fatal("nil/empty catalog must leave every doc untouched")
+		}
+	}
+}
+
+func TestPlanDocumentsExpansion(t *testing.T) {
+	a, b := distinctDBs()
+	cat := NewCatalog(a, b)
+	compound := "The fatal accidents of Aeroflot was 76, and the box office of Heat was 187."
+	doc := &claim.Document{ID: "d1", Data: a, Claims: []*claim.Claim{
+		mustClaim(t, "c1", "The fatal accidents of Qantas was 0.", "0"),
+		mustClaim(t, "c2", compound, "76"),
+	}}
+	tr := trace.New()
+	p := PlanDocuments([]*claim.Document{doc}, cat, Options{Seed: 1, Tracer: tr})
+	// Reduced doc (simple claim only) + 2 unit docs.
+	if len(p.Expanded) != 3 {
+		t.Fatalf("expanded into %d docs, want 3", len(p.Expanded))
+	}
+	if p.Expanded[0] == doc {
+		t.Fatal("reduced doc must be a copy, not the original")
+	}
+	if len(p.Expanded[0].Claims) != 1 || p.Expanded[0].Claims[0].ID != "c1" {
+		t.Fatal("reduced doc must keep exactly the simple claim")
+	}
+	if len(doc.Claims) != 2 {
+		t.Fatal("planning mutated the original document")
+	}
+	if p.SubClaims != 2 || p.Fee != 2*DefaultFee {
+		t.Fatalf("booked %d sub-claims fee %v", p.SubClaims, p.Fee)
+	}
+	if len(p.Routed) != 1 || p.Routed[0].Claim.ID != "c2" {
+		t.Fatal("routed record missing")
+	}
+	units := p.Routed[0].Units
+	if units[0].Entry.Name() != "aviation/flights" || units[1].Entry.Name() != "cinema/movies" {
+		t.Fatalf("misrouted: %s, %s", units[0].Entry.Name(), units[1].Entry.Name())
+	}
+	for _, u := range units {
+		if u.Doc.Domain != "route" || len(u.Doc.Claims) != 1 {
+			t.Fatalf("malformed unit doc %+v", u.Doc)
+		}
+		if u.Doc.Data != u.Entry.DB {
+			t.Fatal("unit doc not bound to the routed database")
+		}
+	}
+	var scoreSpans, pickSpans int
+	for _, s := range tr.Spans() {
+		switch s.Kind {
+		case trace.KindRouteScore:
+			scoreSpans++
+		case trace.KindRoutePick:
+			pickSpans++
+		}
+	}
+	if scoreSpans != 2 || pickSpans != 2 {
+		t.Fatalf("got %d score / %d pick spans, want 2/2", scoreSpans, pickSpans)
+	}
+}
+
+func TestPlanDocumentsDedupesUnits(t *testing.T) {
+	a, b := distinctDBs()
+	cat := NewCatalog(a, b)
+	compound := "The fatal accidents of Aeroflot was 76, and the box office of Heat was 187."
+	d1 := &claim.Document{ID: "d1", Data: a, Claims: []*claim.Claim{mustClaim(t, "c1", compound, "76")}}
+	d2 := &claim.Document{ID: "d2", Data: a, Claims: []*claim.Claim{mustClaim(t, "c1", compound, "76")}}
+	p := PlanDocuments([]*claim.Document{d1, d2}, cat, Options{Seed: 1})
+	// The two compound claims share both unit docs: expansion is 2 docs, not 4.
+	if len(p.Expanded) != 2 {
+		t.Fatalf("expanded into %d docs, want 2 deduplicated units", len(p.Expanded))
+	}
+	// Both routing decisions still book fees.
+	if p.SubClaims != 4 || p.Fee != 4*DefaultFee {
+		t.Fatalf("booked %d sub-claims fee %v, want 4 and %v", p.SubClaims, p.Fee, 4*DefaultFee)
+	}
+	if p.Routed[0].Units[0] != p.Routed[1].Units[0] {
+		t.Fatal("identical sub-claims must intern to the same unit")
+	}
+}
+
+func TestRecombineWritesParentVerdicts(t *testing.T) {
+	a, b := distinctDBs()
+	cat := NewCatalog(a, b)
+	compound := "The fatal accidents of Aeroflot was 76, and the box office of Heat was 187."
+	doc := &claim.Document{ID: "d1", Data: a, Claims: []*claim.Claim{mustClaim(t, "c1", compound, "76")}}
+	p := PlanDocuments([]*claim.Document{doc}, cat, Options{Seed: 1})
+	units := p.Routed[0].Units
+	units[0].Doc.Claims[0].Result = claim.Result{
+		Verified: true, Correct: true, Executable: true, Attempts: 1, Method: "direct", Query: "SELECT 1",
+	}
+	units[1].Doc.Claims[0].Result = claim.Result{
+		Verified: true, Correct: false, Executable: true, Attempts: 2, Method: "agent", Query: "SELECT 2",
+	}
+	p.Recombine()
+	res := doc.Claims[0].Result
+	if !res.Verified || res.Correct {
+		t.Fatalf("AND-recombination wrong: %+v", res)
+	}
+	if res.Attempts != 3 || res.Method != "route(direct,agent)" || res.Query != "SELECT 1; SELECT 2" {
+		t.Fatalf("recombined fields wrong: %+v", res)
+	}
+	if !strings.Contains(res.Trace, "routed 2 sub-claims") {
+		t.Fatalf("trace missing routing transcript: %q", res.Trace)
+	}
+}
+
+func TestCombineTable(t *testing.T) {
+	ok := claim.Result{Verified: true, Correct: true, Executable: true, Attempts: 1, Method: "direct"}
+	wrong := claim.Result{Verified: true, Correct: false, Executable: true, Attempts: 1, Method: "direct"}
+	failed := claim.Result{Method: claim.MethodFailed, Failure: "transport: boom", Attempts: 3}
+	cases := []struct {
+		name string
+		subs []claim.Result
+		want func(t *testing.T, r claim.Result)
+	}{
+		{"empty", nil, func(t *testing.T, r claim.Result) {
+			if r.Verified || r.Method != "" {
+				t.Fatalf("empty combine %+v", r)
+			}
+		}},
+		{"all ok", []claim.Result{ok, ok}, func(t *testing.T, r claim.Result) {
+			if !r.Verified || !r.Correct || r.Attempts != 2 || r.Method != "route(direct,direct)" {
+				t.Fatalf("%+v", r)
+			}
+		}},
+		{"one wrong", []claim.Result{ok, wrong}, func(t *testing.T, r claim.Result) {
+			if !r.Verified || r.Correct {
+				t.Fatalf("%+v", r)
+			}
+		}},
+		{"failure propagates", []claim.Result{ok, failed, wrong}, func(t *testing.T, r claim.Result) {
+			if r.Method != claim.MethodFailed || r.Failure != "transport: boom" {
+				t.Fatalf("%+v", r)
+			}
+			if r.Attempts != 5 {
+				t.Fatalf("attempts %d", r.Attempts)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { tc.want(t, Combine(tc.subs)) })
+	}
+}

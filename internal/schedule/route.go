@@ -1,0 +1,63 @@
+package schedule
+
+import "fmt"
+
+// RouteStage prices the routing stage of DESIGN.md §16 inside the DP
+// scheduler: routing a sub-claim costs Fee and is right with probability
+// Accuracy, so a verification schedule that runs after routing has expected
+// accuracy (schedule accuracy × Accuracy) and expected cost (schedule cost
+// + Fee) — a wrongly-routed sub-claim pays for its verification but cannot
+// produce the right verdict, which is exactly the multiplicative structure
+// Theorem 6.1 already assumes between methods.
+type RouteStage struct {
+	// Fee is the dollar cost of one routing decision.
+	Fee float64
+	// Accuracy is the probability the decision binds the right table;
+	// values outside (0, 1] disable the adjustment (treated as 1).
+	Accuracy float64
+}
+
+// accuracy clamps the modeled routing accuracy into (0, 1].
+func (rs RouteStage) accuracy() float64 {
+	if rs.Accuracy <= 0 || rs.Accuracy > 1 {
+		return 1
+	}
+	return rs.Accuracy
+}
+
+// AdjustedTarget lifts a post-routing accuracy target to the target the
+// verification schedule itself must hit: to deliver `target` end to end,
+// verification must reach target / Accuracy. The result caps at 1 — when
+// routing alone eats the slack, the best the planner can do is the most
+// accurate verification schedule available.
+func (rs RouteStage) AdjustedTarget(target float64) float64 {
+	t := target / rs.accuracy()
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// Apply prices the stage into a planned verification schedule, returning
+// the end-to-end routed schedule: cost gains the routing fee, accuracy is
+// discounted by the wrong-routing risk.
+func (rs RouteStage) Apply(s Schedule) Schedule {
+	s.Cost += rs.Fee
+	s.Accuracy *= rs.accuracy()
+	return s
+}
+
+// PlanRouted plans a verification schedule whose routed end-to-end accuracy
+// meets minAccuracy: it lifts the target by the wrong-routing risk, runs the
+// usual Pareto optimization and selection, and prices the stage into the
+// winner. The error cases are Plan's, plus an impossible lift (the adjusted
+// target exceeds every achievable schedule).
+func PlanRouted(stats []MethodStats, maxTries int, minAccuracy float64, rs RouteStage) (*Schedule, error) {
+	adjusted := rs.AdjustedTarget(minAccuracy)
+	plan, err := Plan(stats, maxTries, adjusted)
+	if err != nil {
+		return nil, fmt.Errorf("routed schedule (target %.4f lifted to %.4f): %w", minAccuracy, adjusted, err)
+	}
+	routed := rs.Apply(*plan)
+	return &routed, nil
+}

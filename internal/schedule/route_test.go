@@ -1,0 +1,72 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+)
+
+func routeTestStats() []MethodStats {
+	return []MethodStats{
+		{Name: "direct", Accuracy: 0.9, Cost: 0.001},
+		{Name: "agent", Accuracy: 0.97, Cost: 0.01},
+	}
+}
+
+func TestRouteStageAccuracyClamp(t *testing.T) {
+	for _, a := range []float64{-1, 0, 1.5} {
+		rs := RouteStage{Accuracy: a}
+		if got := rs.AdjustedTarget(0.9); got != 0.9 {
+			t.Errorf("accuracy %v: adjusted target %v, want identity", a, got)
+		}
+	}
+}
+
+func TestRouteStageAdjustedTarget(t *testing.T) {
+	rs := RouteStage{Accuracy: 0.96}
+	if got, want := rs.AdjustedTarget(0.9), 0.9/0.96; math.Abs(got-want) > 1e-12 {
+		t.Errorf("adjusted target %v, want %v", got, want)
+	}
+	if got := rs.AdjustedTarget(0.99); got != 1 {
+		t.Errorf("lift past 1 must cap at 1, got %v", got)
+	}
+}
+
+func TestRouteStageApply(t *testing.T) {
+	rs := RouteStage{Fee: 0.0001, Accuracy: 0.96}
+	s := Schedule{Cost: 0.01, Accuracy: 0.95}
+	out := rs.Apply(s)
+	if math.Abs(out.Cost-0.0101) > 1e-12 || math.Abs(out.Accuracy-0.95*0.96) > 1e-12 {
+		t.Fatalf("applied schedule %+v", out)
+	}
+	if s.Cost != 0.01 {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestPlanRouted(t *testing.T) {
+	stats := routeTestStats()
+	rs := RouteStage{Fee: 0.0001, Accuracy: 0.96}
+	base, err := Plan(stats, 3, rs.AdjustedTarget(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := PlanRouted(stats, 3, 0.9, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(routed.Cost-(base.Cost+rs.Fee)) > 1e-12 {
+		t.Errorf("routed cost %v, want base %v + fee", routed.Cost, base.Cost)
+	}
+	if math.Abs(routed.Accuracy-base.Accuracy*0.96) > 1e-12 {
+		t.Errorf("routed accuracy %v, want discounted %v", routed.Accuracy, base.Accuracy*0.96)
+	}
+	if routed.Accuracy < 0.9*0.99 {
+		t.Errorf("routed end-to-end accuracy %v far below target", routed.Accuracy)
+	}
+}
+
+func TestPlanRoutedNoMethods(t *testing.T) {
+	if _, err := PlanRouted(nil, 3, 0.9, RouteStage{Accuracy: 0.96}); err == nil {
+		t.Fatal("expected error for empty method stats")
+	}
+}

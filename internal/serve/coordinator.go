@@ -60,6 +60,12 @@ type CoordinatorConfig struct {
 	// every proxied request. These are topology-dependent and dropped by
 	// trace.ReplayNormalize.
 	Tracer *trace.Tracer
+	// Route, when non-nil, enables cross-database claim routing at the
+	// coordinator (DESIGN.md §16): compound claims decompose here and each
+	// sub-claim fans out to the replica owning its routed fingerprint, with
+	// verdicts recombined in caller order. Requests without compound claims
+	// take the ordinary relay path untouched.
+	Route *RouteConfig
 }
 
 // Coordinator is the sharding front end of the serving tier: an
@@ -381,6 +387,9 @@ func (c *Coordinator) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := c.requestContext(r)
 	defer cancel()
+	if c.cfg.Route != nil && c.tryRoutedVerify(ctx, w, started, req) {
+		return
+	}
 	key, docID := c.routeKey(req.DocID, req.Claims)
 	res, err := c.proxy.Do(ctx, key, "/v1/verify", body)
 	if err != nil {
@@ -417,6 +426,9 @@ func (c *Coordinator) handleVerifyBatch(w http.ResponseWriter, r *http.Request) 
 	}
 	ctx, cancel := c.requestContext(r)
 	defer cancel()
+	if c.cfg.Route != nil && c.tryRoutedVerifyBatch(ctx, w, started, req) {
+		return
+	}
 
 	// Partition by owner. Assignment is read once per document; a membership
 	// change mid-request is handled by the proxy's failover, not re-grouped.

@@ -125,6 +125,17 @@ const (
 	// against the sampled catalog regardless of where it was ingested — so
 	// ReplayNormalize drops it from the cross-topology identity surface.
 	KindIngestSample = "ingest_sample"
+	// KindRouteScore and KindRoutePick record the cross-database routing of
+	// one compound-claim sub-claim (DESIGN.md §16): the catalog's top
+	// candidate scores, then the binding the seeded routing stage picked
+	// (Outcome "picked" or "tie-break"). Both live under the parent claim's
+	// identity with Method "route" and Try = sub-claim ordinal. They describe
+	// how the claim was planned, not how its sub-claims were verified — a
+	// coordinator plans routing once while its replicas never see the
+	// compound claim — so ReplayNormalize drops them from the cross-topology
+	// identity surface.
+	KindRouteScore = "route_score"
+	KindRoutePick  = "route_pick"
 )
 
 // Outcome values for KindAttempt and KindOutcome spans. Transport-error
@@ -298,6 +309,10 @@ func (t *Tracer) Summary() Summary {
 //     property of how documents were submitted, not of the verification work,
 //     and the stream-determinism gate compares streamed traces against batch
 //     runs;
+//   - route_score and route_pick spans are dropped — compound-claim routing
+//     is planned wherever the compound claim arrived (library, replica, or
+//     coordinator), while the routed sub-claims verify elsewhere, and the
+//     route gate compares traces across those topologies;
 //   - per-key Seq is renumbered over what remains, since dropped and
 //     rewritten spans consumed sequence slots.
 //
@@ -311,7 +326,8 @@ func ReplayNormalize(spans []Span) []Span {
 	for _, s := range spans {
 		switch s.Kind {
 		case KindCacheHit, KindCacheWait, KindMemoMismatch, KindShardRoute, KindShardFailover,
-			KindStreamAdmit, KindStreamResult, KindIngestSample:
+			KindStreamAdmit, KindStreamResult, KindIngestSample,
+			KindRouteScore, KindRoutePick:
 			continue
 		case KindPersistHit:
 			s.Kind = KindAttempt
